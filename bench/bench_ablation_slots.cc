@@ -1,0 +1,80 @@
+// Ablation 4: slot scheduling vs multi-resource scheduling.
+//
+// The paper's opening argument (Sec. I): slot schedulers (Hadoop Fair /
+// Capacity, and Choosy built on them) "suffer from poor utilization due to
+// resource fragmentation — resources in these allocated slots, even when
+// idle, are not available to the other tasks". This harness quantifies that
+// on the same Google-like workload: a Choosy-style slot scheduler at
+// several slot granularities against the multi-resource TSF scheduler.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "sim/slots.h"
+#include "stats/cdf.h"
+#include "stats/table.h"
+
+namespace tsf {
+namespace {
+
+int Run(int argc, char** argv) {
+  bench::PrintHeader(
+      "Ablation — slot scheduler vs multi-resource scheduler",
+      "Same workload under Choosy-style slots of several sizes and TSF.");
+  const bench::MacroConfig config = bench::ParseMacroFlags(argc, argv);
+
+  struct SlotChoice {
+    const char* name;
+    ResourceVector size;
+  };
+  const SlotChoice slot_sizes[] = {
+      {"slots <1 core, 2 GB>", ResourceVector{1.0, 2.0}},
+      {"slots <2 cores, 4 GB>", ResourceVector{2.0, 4.0}},
+      {"slots <4 cores, 8 GB>", ResourceVector{4.0, 8.0}},
+  };
+
+  TextTable table({"scheduler", "makespan (s)", "mean task queue (s)",
+                   "job compl p90 (s)", "held-slot waste", "dropped jobs"});
+
+  for (std::uint64_t k = 0; k < config.seeds; ++k) {
+    const std::uint64_t seed = config.first_seed + k;
+    const Workload workload =
+        trace::SynthesizeGoogleWorkload(bench::MakeTraceConfig(config, seed));
+
+    auto add_row = [&](const std::string& name, const SimResult& sim,
+                       double waste, std::size_t dropped) {
+      EmpiricalCdf queue, completion;
+      queue.AddAll(sim.TaskQueueingDelays());
+      for (const JobRecord& job : sim.jobs)
+        if (job.num_tasks > 0) completion.Add(job.CompletionTime());
+      table.AddRow({name + " [seed " + std::to_string(seed) + "]",
+                    TextTable::Num(sim.makespan, 0),
+                    TextTable::Num(queue.Mean(), 1),
+                    TextTable::Num(completion.Quantile(0.9), 1),
+                    waste < 0 ? "-" : TextTable::Percent(waste, 1),
+                    std::to_string(dropped)});
+    };
+
+    for (const SlotChoice& choice : slot_sizes) {
+      SlotSchedulerConfig slot_config;
+      slot_config.slot_size = choice.size;
+      const SlotSimResult result = SimulateSlotScheduler(workload, slot_config);
+      add_row(choice.name, result.sim, 1.0 - result.mean_used_fraction,
+              result.dropped_jobs.size());
+    }
+    add_row("multi-resource TSF", Simulate(workload, OnlinePolicy::Tsf()), -1.0,
+            0);
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n\n%s", table.Format().c_str());
+  std::printf("\nreading: 'held-slot waste' is the time-averaged fraction of "
+              "slot resources\nreserved but not demanded by the occupying "
+              "task — the fragmentation the\nmulti-resource scheduler "
+              "eliminates. Coarser slots waste more and queue longer.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tsf
+
+int main(int argc, char** argv) { return tsf::Run(argc, argv); }

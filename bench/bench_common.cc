@@ -1,0 +1,102 @@
+#include "bench_common.h"
+
+#include <cstdio>
+
+#include "stats/table.h"
+#include "util/check.h"
+
+namespace tsf::bench {
+
+void PrintHeader(const std::string& artifact, const std::string& description) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", artifact.c_str());
+  std::printf("%s\n", description.c_str());
+  std::printf("================================================================\n");
+}
+
+void PrintSection(const std::string& title) {
+  std::printf("\n--- %s ---\n", title.c_str());
+}
+
+std::vector<OnlinePolicy> EvaluationPolicies() {
+  return {OnlinePolicy::Fifo(), OnlinePolicy::Drf(),  OnlinePolicy::Cdrf(),
+          OnlinePolicy::Cmmf(0, "CPU"), OnlinePolicy::Cmmf(1, "Mem"),
+          OnlinePolicy::Tsf()};
+}
+
+std::vector<OnlinePolicy> FairPolicies() {
+  return {OnlinePolicy::Drf(), OnlinePolicy::Cdrf(), OnlinePolicy::Cmmf(0, "CPU"),
+          OnlinePolicy::Cmmf(1, "Mem"), OnlinePolicy::Tsf()};
+}
+
+MacroConfig ParseMacroFlags(
+    int argc, char** argv,
+    std::vector<std::pair<std::string, std::string>> extra_flags,
+    const Flags** flags_out) {
+  std::vector<std::pair<std::string, std::string>> allowed = {
+      {"machines", "cluster size (paper: 1000)"},
+      {"jobs", "number of jobs (paper: 4500)"},
+      {"seeds", "simulation repetitions (paper: 50; default 5)"},
+      {"first-seed", "first RNG seed (default 1)"},
+      {"tightness", "constraint tightness multiplier (default 1.0)"},
+      {"threads", "worker threads (default: hardware)"},
+  };
+  for (auto& flag : extra_flags) allowed.push_back(std::move(flag));
+
+  static const Flags* parsed = nullptr;  // owned for the process lifetime
+  auto* flags = new Flags(argc, argv, allowed);
+  parsed = flags;
+  if (flags_out != nullptr) *flags_out = parsed;
+
+  MacroConfig config;
+  config.machines = static_cast<std::size_t>(flags->GetInt("machines", 1000));
+  config.jobs = static_cast<std::size_t>(flags->GetInt("jobs", 4500));
+  config.seeds = static_cast<std::size_t>(flags->GetInt("seeds", 5));
+  config.first_seed = static_cast<std::uint64_t>(flags->GetInt("first-seed", 1));
+  config.tightness = flags->GetDouble("tightness", 1.0);
+  config.threads = static_cast<std::size_t>(flags->GetInt("threads", 0));
+  TSF_CHECK_GT(config.machines, 0u);
+  TSF_CHECK_GT(config.jobs, 0u);
+  TSF_CHECK_GT(config.seeds, 0u);
+
+  std::printf("config: machines=%zu jobs=%zu seeds=%zu first-seed=%llu "
+              "tightness=%.2f\n\n",
+              config.machines, config.jobs, config.seeds,
+              static_cast<unsigned long long>(config.first_seed),
+              config.tightness);
+  return config;
+}
+
+trace::GoogleTraceConfig MakeTraceConfig(const MacroConfig& config,
+                                         std::uint64_t seed) {
+  trace::GoogleTraceConfig trace_config;
+  trace_config.num_machines = config.machines;
+  trace_config.num_jobs = config.jobs;
+  trace_config.constraint_tightness = config.tightness;
+  trace_config.seed = seed;
+  return trace_config;
+}
+
+std::vector<double> FigureQuantiles() {
+  return {0.10, 0.25, 0.40, 0.50, 0.60, 0.75, 0.90, 0.95, 0.99};
+}
+
+void PrintCdfComparison(const std::string& x_label,
+                        const std::vector<std::string>& labels,
+                        const std::vector<EmpiricalCdf>& cdfs,
+                        const std::vector<double>& quantiles) {
+  TSF_CHECK_EQ(labels.size(), cdfs.size());
+  std::vector<std::string> header = {"quantile"};
+  for (const std::string& label : labels) header.push_back(label);
+  TextTable table(std::move(header));
+  for (const double q : quantiles) {
+    std::vector<std::string> row = {TextTable::Percent(q, 0)};
+    for (const EmpiricalCdf& cdf : cdfs)
+      row.push_back(cdf.empty() ? "-" : TextTable::Num(cdf.Quantile(q), 1));
+    table.AddRow(std::move(row));
+  }
+  std::printf("%s (rows: CDF quantiles)\n%s", x_label.c_str(),
+              table.Format().c_str());
+}
+
+}  // namespace tsf::bench

@@ -1,0 +1,64 @@
+// Shared helpers for the per-figure bench harnesses.
+//
+// Every harness prints a header naming the paper artifact it regenerates,
+// the parameters in effect, and then the table/series in a stable, aligned
+// format so runs can be diffed and compared against EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/online/policy.h"
+#include "sim/des.h"
+#include "stats/cdf.h"
+#include "trace/google.h"
+#include "util/flags.h"
+
+namespace tsf::bench {
+
+// Prints the standard harness banner.
+void PrintHeader(const std::string& artifact, const std::string& description);
+
+// Prints a labelled sub-section.
+void PrintSection(const std::string& title);
+
+// The six policies of Sec. VI-B, in the paper's order.
+std::vector<OnlinePolicy> EvaluationPolicies();
+
+// The five fair-sharing policies (no FIFO); TSF last.
+std::vector<OnlinePolicy> FairPolicies();
+
+// Flags shared by the trace-driven (macro) benches. All have TSF_<NAME>
+// environment fallbacks, so e.g. TSF_SEEDS=50 rescales the whole suite.
+struct MacroConfig {
+  std::size_t machines = 1000;
+  std::size_t jobs = 4500;
+  std::size_t seeds = 5;
+  std::uint64_t first_seed = 1;
+  double tightness = 1.0;
+  std::size_t threads = 0;  // 0 = hardware concurrency
+};
+
+// Declares and parses --machines/--jobs/--seeds/--first-seed/--tightness/
+// --threads. Extra flags may be appended by the caller.
+MacroConfig ParseMacroFlags(
+    int argc, char** argv,
+    std::vector<std::pair<std::string, std::string>> extra_flags = {},
+    const Flags** flags_out = nullptr);
+
+// Builds the Google-like workload for one seed under a macro config.
+trace::GoogleTraceConfig MakeTraceConfig(const MacroConfig& config,
+                                         std::uint64_t seed);
+
+// Prints a side-by-side CDF table: one column of values per labelled
+// series, rows at the given quantiles.
+void PrintCdfComparison(const std::string& x_label,
+                        const std::vector<std::string>& labels,
+                        const std::vector<EmpiricalCdf>& cdfs,
+                        const std::vector<double>& quantiles);
+
+// Standard quantile grid used by the CDF figures.
+std::vector<double> FigureQuantiles();
+
+}  // namespace tsf::bench

@@ -1,0 +1,63 @@
+// Fig. 2 (Sec. IV-B3): constrained CDRF is not strategy-proof.
+//
+// Regenerates both panels: (a) the truthful allocation — u1: 12 tasks,
+// u2: 4 tasks, work slowdown 2/3 each — and (b) the allocation after u2
+// falsely claims it can run on m1, which hands u2 six tasks. Also runs the
+// same lie under TSF to show it does not pay there (Theorem 2).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/offline/policies.h"
+#include "core/offline/properties.h"
+#include "core/paper_examples.h"
+#include "stats/table.h"
+
+namespace tsf {
+namespace {
+
+void PrintAllocation(const char* title, const CompiledProblem& problem,
+                     const FillingResult& result) {
+  bench::PrintSection(title);
+  std::printf("%s", result.allocation.ToString(problem).c_str());
+}
+
+int Run() {
+  bench::PrintHeader(
+      "Fig. 2 — constrained CDRF is not strategy-proof",
+      "Two <18 CPU, 18 GB> machines; u1 <1,2> anywhere, u2 <1,3> on m2 only.");
+
+  const CompiledProblem honest = Compile(paper::Fig2Truthful());
+  const CompiledProblem lied = Compile(paper::Fig2Lie());
+
+  PrintAllocation("(a) constrained CDRF, both users truthful", honest,
+                  SolveCdrf(honest));
+  PrintAllocation("(b) constrained CDRF, u2 claims m1 as well", lied,
+                  SolveCdrf(lied));
+
+  bench::PrintSection("manipulation outcome (real tasks completed)");
+  Lie lie;
+  DynamicBitset all(honest.num_machines);
+  all.SetAll();
+  lie.eligible = all;
+
+  TextTable table({"policy", "truthful", "lying", "lie profitable?"});
+  for (const auto& [name, solver] :
+       {std::pair<std::string, OfflineSolver>{
+            "CDRF", [](const CompiledProblem& p) { return SolveCdrf(p); }},
+        std::pair<std::string, OfflineSolver>{
+            "TSF", [](const CompiledProblem& p) { return SolveTsf(p); }}}) {
+    const ManipulationOutcome outcome = ProbeManipulation(honest, 1, lie, solver);
+    table.AddRow({name, TextTable::Num(outcome.truthful_tasks, 2),
+                  TextTable::Num(outcome.lying_tasks, 2),
+                  outcome.profitable() ? "YES (violation)" : "no"});
+  }
+  std::printf("%s", table.Format().c_str());
+  std::printf(
+      "\npaper: u2 gains 4 -> 6 tasks by lying under CDRF; TSF is immune.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tsf
+
+int main() { return tsf::Run(); }

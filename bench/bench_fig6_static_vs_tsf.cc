@@ -1,0 +1,100 @@
+// Fig. 6 (Sec. VI-A3): TSF vs static partitioning.
+//
+// Experiment 1 confines each of four jobs to a dedicated pool (nodes 1-10 /
+// 11-25 / 26-35 / 36-50); experiment 2 runs the same jobs shared under TSF
+// with their true (wider) whitelists. The paper reports TSF finishing jobs
+// up to ~22 % faster — Theorem 1's sharing incentive observed end to end.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "mesos/mesos.h"
+#include "stats/summary.h"
+#include "stats/table.h"
+#include "util/flags.h"
+
+namespace tsf {
+namespace {
+
+std::vector<std::size_t> Nodes(int lo, int hi) {  // 1-based inclusive
+  std::vector<std::size_t> ids;
+  for (int n = lo; n <= hi; ++n) ids.push_back(static_cast<std::size_t>(n - 1));
+  return ids;
+}
+
+// The four jobs: demands and runtimes follow Table II; jobs 1-2 can
+// truthfully run on nodes 1-25, jobs 3-4 anywhere (Sec. VI-A3).
+std::vector<mesos::FrameworkSpec> Jobs() {
+  std::vector<mesos::FrameworkSpec> jobs = mesos::TableTwoJobs();
+  for (auto& job : jobs) job.start_time = 0.0;
+  jobs[0].whitelist = Nodes(1, 25);
+  jobs[0].num_tasks = 250;  // scaled so all four finish in one experiment
+  jobs[1].whitelist = Nodes(1, 25);
+  jobs[2].whitelist = {};
+  jobs[3].whitelist = {};
+  return jobs;
+}
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv, {{"seeds", "jitter seeds to average (default 5)"}});
+  const auto seeds = static_cast<std::uint64_t>(flags.GetInt("seeds", 5));
+
+  bench::PrintHeader("Fig. 6 — completion time: static partitioning vs TSF",
+                     "Four jobs; dedicated pools vs shared cluster under TSF.");
+
+  const std::vector<std::vector<std::size_t>> pools = {
+      Nodes(1, 10), Nodes(11, 25), Nodes(26, 35), Nodes(36, 50)};
+
+  std::vector<Summary> static_time(4), tsf_time(4);
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    mesos::ClusterConfig config;
+    config.slaves = mesos::PaperFleet();
+    config.policy = mesos::AllocatorPolicy::kTsf;
+    config.sample_interval = 0.0;
+    config.seed = seed;
+
+    // Experiment 1: each job restricted to its dedicated pool.
+    std::vector<mesos::FrameworkSpec> penned = Jobs();
+    for (std::size_t f = 0; f < penned.size(); ++f)
+      penned[f].whitelist = pools[f];
+    const mesos::SimOutcome static_outcome = mesos::RunCluster(config, penned);
+
+    // Experiment 2: same jobs, true whitelists, shared under TSF with the
+    // Theorem-1 weights w_i = k_i / h_i derived from the dedicated pools —
+    // the setting in which TSF guarantees no job regresses.
+    std::vector<mesos::FrameworkSpec> shared = Jobs();
+    for (std::size_t f = 0; f < shared.size(); ++f) {
+      double k = 0.0, h = 0.0;
+      for (std::size_t s = 0; s < config.slaves.size(); ++s)
+        h += config.slaves[s].capacity.DivisibleTaskCount(shared[f].demand);
+      for (const std::size_t s : pools[f])
+        k += config.slaves[s].capacity.DivisibleTaskCount(shared[f].demand);
+      shared[f].weight = k / h;
+    }
+    const mesos::SimOutcome shared_outcome = mesos::RunCluster(config, shared);
+
+    for (std::size_t f = 0; f < 4; ++f) {
+      static_time[f].Add(static_outcome.frameworks[f].CompletionDuration());
+      tsf_time[f].Add(shared_outcome.frameworks[f].CompletionDuration());
+    }
+  }
+
+  TextTable table({"job", "static (s)", "TSF shared (s)", "speedup"});
+  for (std::size_t f = 0; f < 4; ++f) {
+    const double speedup =
+        (static_time[f].mean() - tsf_time[f].mean()) / static_time[f].mean();
+    table.AddRow({"job" + std::to_string(f + 1),
+                  TextTable::Num(static_time[f].mean(), 1),
+                  TextTable::Num(tsf_time[f].mean(), 1),
+                  TextTable::Percent(speedup, 1)});
+  }
+  std::printf("%s", table.Format().c_str());
+  std::printf("\npaper: TSF speeds up completion by up to 22%% over static "
+              "partitioning;\nno job should finish meaningfully later than "
+              "its dedicated pool (Thm. 1).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tsf
+
+int main(int argc, char** argv) { return tsf::Run(argc, argv); }

@@ -1,0 +1,67 @@
+// Fig. 8 (Sec. VI-B1): statistics of the synthesized input workload.
+//
+// (a) CDF of the number of machines each job can run on — calibrated so
+//     <20 % of jobs can run on all 1000 machines and ~50 % on <= 200;
+// (b) CDF of job size in tasks — mice-dominated (>60 % single-task),
+//     heavy-tailed to ~20k tasks, ~180k tasks over 4.5k jobs.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "stats/table.h"
+#include "trace/google.h"
+
+namespace tsf {
+namespace {
+
+int Run(int argc, char** argv) {
+  bench::PrintHeader("Fig. 8 — input workload statistics",
+                     "Synthesized Google-like workload (see DESIGN.md).");
+  const bench::MacroConfig config = bench::ParseMacroFlags(argc, argv);
+
+  EmpiricalCdf eligibility, job_size;
+  double total_tasks = 0, total_jobs = 0;
+  std::size_t runs_everywhere = 0, runs_on_fifth = 0, singles = 0, small = 0;
+  long max_size = 0;
+
+  for (std::uint64_t k = 0; k < config.seeds; ++k) {
+    const Workload workload =
+        trace::SynthesizeGoogleWorkload(bench::MakeTraceConfig(config, config.first_seed + k));
+    for (const SimJob& job : workload.jobs) {
+      const std::size_t eligible =
+          workload.cluster.Eligibility(job.spec.constraint).Count();
+      eligibility.Add(static_cast<double>(eligible));
+      job_size.Add(static_cast<double>(job.spec.num_tasks));
+      total_tasks += static_cast<double>(job.spec.num_tasks);
+      ++total_jobs;
+      runs_everywhere += eligible == config.machines;
+      runs_on_fifth += eligible <= config.machines / 5;
+      singles += job.spec.num_tasks == 1;
+      small += job.spec.num_tasks <= 10;
+      max_size = std::max(max_size, job.spec.num_tasks);
+    }
+  }
+
+  bench::PrintSection("Fig. 8a — machines a job can run on (CDF)");
+  std::printf("%s", eligibility.FormatSeries(11, "   #machines").c_str());
+  std::printf("  fraction able to run on ALL machines: %s (paper: <20%%)\n",
+              TextTable::Percent(runs_everywhere / total_jobs, 1).c_str());
+  std::printf("  fraction able to run on <=%zu machines: %s (paper: ~50%%)\n",
+              config.machines / 5,
+              TextTable::Percent(runs_on_fifth / total_jobs, 1).c_str());
+
+  bench::PrintSection("Fig. 8b — job size in tasks (CDF)");
+  std::printf("%s", job_size.FormatSeries(11, "      #tasks").c_str());
+  std::printf("  single-task jobs: %s (paper: >60%%)\n",
+              TextTable::Percent(singles / total_jobs, 1).c_str());
+  std::printf("  small jobs (<=10 tasks): %s (paper: 86%%)\n",
+              TextTable::Percent(small / total_jobs, 1).c_str());
+  std::printf("  biggest job: %ld tasks (paper: ~20k)\n", max_size);
+  std::printf("  mean tasks per workload: %.0f (paper: ~180k over 4500 jobs)\n",
+              total_tasks / static_cast<double>(config.seeds));
+  return 0;
+}
+
+}  // namespace
+}  // namespace tsf
+
+int main(int argc, char** argv) { return tsf::Run(argc, argv); }

@@ -1,0 +1,358 @@
+// Table I: sharing properties of Per-Machine DRF, DRFH, CDRF, and TSF in
+// the presence of placement constraints.
+//
+// Each ✗ cell is demonstrated with a concrete counterexample (the paper's
+// own where it gives one — Figs. 2 and 3 — otherwise a curated witness);
+// each ✓ cell is verified on a suite of randomized instances. Conventions
+// per cell follow the literature each row cites:
+//
+//   SI — dedicated-pool sharing incentive. CDRF/DRFH/Per-Machine DRF are
+//        checked under the classic equal-partition, equal-weight form;
+//        TSF under the paper's generalized form (arbitrary pools, Thm-1
+//        weights). Per-Machine DRF is additionally probed with arbitrary
+//        pools, where its failure is structural.
+//   SP — no profitable demand or constraint lie (randomized probes).
+//   EF — no user envies another (Def. 3).
+//   PO — no user can gain without another losing (LP test).
+//   SMF/SRF — reduction to DRF on one machine / CMMF on one resource.
+//
+// Note on SRF for DRFH and Per-Machine DRF: the paper marks both ✗. Our
+// Per-Machine DRF shows the violation directly. Our DRFH is the *idealized*
+// progressive-filling variant, for which single-resource max-min coincides
+// with CMMF by construction; the paper's ✗ refers to the deployed DRFH
+// heuristic of [30]. The harness prints what it actually measures.
+#include <cstdio>
+#include <optional>
+
+#include "bench_common.h"
+#include "core/offline/policies.h"
+#include "core/offline/properties.h"
+#include "core/paper_examples.h"
+#include "stats/table.h"
+#include "util/rng.h"
+
+namespace tsf {
+namespace {
+
+struct CellResult {
+  bool holds = true;
+  std::string detail;  // witness description when !holds, "n/a" if skipped
+};
+
+std::string Mark(const CellResult& result) {
+  return result.holds ? "yes" : "NO";
+}
+
+// Random instance generator shared by all verification cells (same family
+// as the property-based tests).
+SharingProblem RandomInstance(std::uint64_t seed, std::size_t max_machines = 4,
+                              std::size_t max_resources = 3) {
+  Rng rng(seed);
+  SharingProblem problem;
+  const auto machines = static_cast<std::size_t>(rng.Int(2, static_cast<std::int64_t>(max_machines)));
+  const auto resources = static_cast<std::size_t>(rng.Int(1, static_cast<std::int64_t>(max_resources)));
+  for (std::size_t m = 0; m < machines; ++m) {
+    ResourceVector capacity(resources);
+    for (std::size_t r = 0; r < resources; ++r) capacity[r] = rng.Uniform(2.0, 20.0);
+    problem.cluster.AddMachine(std::move(capacity));
+  }
+  const auto users = static_cast<std::size_t>(rng.Int(2, 5));
+  for (UserId i = 0; i < users; ++i) {
+    JobSpec job{.id = i, .name = "u" + std::to_string(i)};
+    ResourceVector demand(resources);
+    for (std::size_t r = 0; r < resources; ++r) demand[r] = rng.Uniform(0.2, 4.0);
+    job.demand = std::move(demand);
+    std::vector<MachineId> allowed;
+    for (MachineId m = 0; m < machines; ++m)
+      if (rng.Chance(0.6)) allowed.push_back(m);
+    if (allowed.empty()) allowed.push_back(rng.Below(machines));
+    if (allowed.size() < machines) job.constraint = Constraint::Whitelist(allowed);
+    problem.jobs.push_back(std::move(job));
+  }
+  return problem;
+}
+
+OfflineSolver SolverFor(OfflinePolicy policy) {
+  return [policy](const CompiledProblem& p) { return SolveOffline(policy, p, 0); };
+}
+
+// ------------------------------- SI -----------------------------------
+
+CellResult CheckSi(OfflinePolicy policy, std::size_t trials) {
+  const OfflineSolver solver = SolverFor(policy);
+
+  if (policy == OfflinePolicy::kPerMachineDrf) {
+    // Structural failure under arbitrary pools: B owns m2 outright, A owns
+    // m1 outright, but per-machine DRF splits m1 between them.
+    SharingProblem witness;
+    witness.cluster.AddMachine(ResourceVector{3.0});
+    witness.cluster.AddMachine(ResourceVector{3.0});
+    JobSpec a{.id = 0, .name = "A", .demand = {1.0}};
+    a.constraint = Constraint::Whitelist({0});
+    JobSpec b{.id = 1, .name = "B", .demand = {1.0}};
+    witness.jobs = {a, b};
+    DedicatedPools pools;
+    pools.fraction = {{1.0, 0.0}, {0.0, 1.0}};  // A owns m1, B owns m2
+    const auto report = CheckSharingIncentive(Compile(witness), pools, solver,
+                                              /*theorem1_weights=*/false);
+    if (!report.satisfied)
+      return {false, "pools {A:m1, B:m2}: A runs " +
+                         TextTable::Num(report.shared_tasks[0], 2) + " < k=" +
+                         TextTable::Num(report.dedicated_tasks[0], 2)};
+    return {true, "curated witness unexpectedly satisfied"};
+  }
+
+  if (policy == OfflinePolicy::kDrfh) {
+    // Equal-partition failure: shape-mismatched machines starve the user
+    // with the large dominant share.
+    SharingProblem witness;
+    witness.cluster.AddMachine(ResourceVector{4.0, 100.0});
+    witness.cluster.AddMachine(ResourceVector{100.0, 4.0});
+    witness.jobs = {JobSpec{.id = 0, .name = "small", .demand = {1.0, 1.0}},
+                    JobSpec{.id = 1, .name = "ramhog", .demand = {1.0, 25.0}}};
+    const CompiledProblem compiled = Compile(witness);
+    const auto report = CheckSharingIncentive(
+        compiled, EqualPartition(2, 2), solver, /*theorem1_weights=*/false);
+    if (!report.satisfied)
+      return {false, "equal split: ramhog runs " +
+                         TextTable::Num(report.shared_tasks[1], 2) + " < k=" +
+                         TextTable::Num(report.dedicated_tasks[1], 2)};
+    return {true, "curated witness unexpectedly satisfied"};
+  }
+
+  // CDRF: equal partition + equal weights; TSF: random pools + Thm-1
+  // weights. Verified over randomized instances.
+  const bool theorem1 = policy == OfflinePolicy::kTsf;
+  for (std::uint64_t seed = 1; seed <= trials; ++seed) {
+    const CompiledProblem problem = Compile(RandomInstance(seed * 71 + 5));
+    DedicatedPools pools;
+    if (theorem1) {
+      Rng rng(seed);
+      pools.fraction.assign(problem.num_users,
+                            std::vector<double>(problem.num_machines, 0.0));
+      for (MachineId m = 0; m < problem.num_machines; ++m) {
+        std::vector<double> cuts(problem.num_users);
+        double total = 0;
+        for (auto& c : cuts) total += (c = rng.Uniform(0.05, 1.0));
+        for (UserId i = 0; i < problem.num_users; ++i)
+          pools.fraction[i][m] = cuts[i] / total;
+      }
+    } else {
+      pools = EqualPartition(problem.num_users, problem.num_machines);
+    }
+    const auto report =
+        CheckSharingIncentive(problem, pools, solver, theorem1, 1e-4);
+    if (!report.satisfied)
+      return {false, "violation at seed " + std::to_string(seed) + ": user " +
+                         std::to_string(report.violator)};
+  }
+  return {true, std::to_string(trials) + " random instances"};
+}
+
+// ------------------------------- SP -----------------------------------
+
+CellResult CheckSp(OfflinePolicy policy, std::size_t trials) {
+  const OfflineSolver solver = SolverFor(policy);
+
+  if (policy == OfflinePolicy::kCdrf) {
+    // The paper's Fig. 2 counterexample.
+    const CompiledProblem problem = Compile(paper::Fig2Truthful());
+    Lie lie;
+    DynamicBitset all(problem.num_machines);
+    all.SetAll();
+    lie.eligible = all;
+    const auto outcome = ProbeManipulation(problem, 1, lie, solver);
+    if (outcome.profitable())
+      return {false, "Fig. 2: u2 gains " + TextTable::Num(outcome.truthful_tasks, 0) +
+                         " -> " + TextTable::Num(outcome.lying_tasks, 0) +
+                         " tasks by claiming m1"};
+    return {true, "Fig. 2 witness unexpectedly unprofitable"};
+  }
+
+  for (std::uint64_t seed = 1; seed <= trials; ++seed) {
+    Rng rng(seed * 1299709 + 11);
+    const CompiledProblem problem = Compile(RandomInstance(seed * 37 + 3));
+    for (UserId liar = 0; liar < problem.num_users; ++liar) {
+      Lie demand_lie;
+      ResourceVector claimed = problem.demand[liar];
+      for (std::size_t r = 0; r < claimed.dimension(); ++r)
+        claimed[r] *= rng.Uniform(0.5, 2.0);
+      demand_lie.demand = claimed;
+      if (ProbeManipulation(problem, liar, demand_lie, solver).profitable())
+        return {false, "demand lie pays at seed " + std::to_string(seed)};
+
+      Lie constraint_lie;
+      DynamicBitset mask(problem.num_machines);
+      for (MachineId m = 0; m < problem.num_machines; ++m)
+        if (rng.Chance(0.7)) mask.Set(m);
+      mask.Set(problem.eligible[liar].FindFirst());
+      constraint_lie.eligible = mask;
+      if (ProbeManipulation(problem, liar, constraint_lie, solver).profitable())
+        return {false, "constraint lie pays at seed " + std::to_string(seed)};
+    }
+  }
+  return {true, std::to_string(trials) + " random instances"};
+}
+
+// ------------------------------- EF -----------------------------------
+
+CellResult CheckEf(OfflinePolicy policy, std::size_t trials) {
+  const OfflineSolver solver = SolverFor(policy);
+  if (policy == OfflinePolicy::kCdrf) {
+    const CompiledProblem problem = Compile(paper::Fig3());
+    const FillingResult result = solver(problem);
+    if (const auto envy = FindEnvy(problem, result.allocation))
+      return {false, "Fig. 3: u" + std::to_string(envy->envious + 1) +
+                         " envies u" + std::to_string(envy->envied + 1) + " (" +
+                         TextTable::Num(envy->own_tasks, 1) + " vs " +
+                         TextTable::Num(envy->exchanged_tasks, 1) + ")"};
+    return {true, "Fig. 3 witness unexpectedly envy-free"};
+  }
+  for (std::uint64_t seed = 1; seed <= trials; ++seed) {
+    const CompiledProblem problem = Compile(RandomInstance(seed * 53 + 7));
+    const FillingResult result = solver(problem);
+    if (FindEnvy(problem, result.allocation, 1e-4).has_value())
+      return {false, "violation at seed " + std::to_string(seed)};
+  }
+  return {true, std::to_string(trials) + " random instances"};
+}
+
+// ------------------------------- PO -----------------------------------
+
+CellResult CheckPo(OfflinePolicy policy, std::size_t trials) {
+  const OfflineSolver solver = SolverFor(policy);
+  if (policy == OfflinePolicy::kPerMachineDrf) {
+    SharingProblem witness;
+    witness.cluster.AddMachine(ResourceVector{12.0, 2.0});
+    witness.cluster.AddMachine(ResourceVector{2.0, 12.0});
+    witness.jobs = {JobSpec{.id = 0, .name = "cpu", .demand = {1.0, 0.1}},
+                    JobSpec{.id = 1, .name = "ram", .demand = {0.1, 1.0}}};
+    const CompiledProblem compiled = Compile(witness);
+    const FillingResult result = solver(compiled);
+    if (const auto improvement =
+            FindParetoImprovement(compiled, result.allocation))
+      return {false, "user " + std::to_string(improvement->user) + " could go " +
+                         TextTable::Num(improvement->current_tasks, 2) + " -> " +
+                         TextTable::Num(improvement->achievable_tasks, 2)};
+    return {true, "curated witness unexpectedly optimal"};
+  }
+  for (std::uint64_t seed = 1; seed <= trials; ++seed) {
+    const CompiledProblem problem = Compile(RandomInstance(seed * 97 + 13));
+    const FillingResult result = solver(problem);
+    if (FindParetoImprovement(problem, result.allocation, 1e-4).has_value())
+      return {false, "violation at seed " + std::to_string(seed)};
+  }
+  return {true, std::to_string(trials) + " random instances"};
+}
+
+// ---------------------------- SMF / SRF --------------------------------
+
+CellResult CheckSmf(OfflinePolicy policy, std::size_t trials) {
+  const OfflineSolver solver = SolverFor(policy);
+  for (std::uint64_t seed = 1; seed <= trials; ++seed) {
+    Rng rng(seed * 61 + 17);
+    SharingProblem sharing;
+    const auto resources = static_cast<std::size_t>(rng.Int(2, 3));
+    ResourceVector capacity(resources);
+    for (std::size_t r = 0; r < resources; ++r) capacity[r] = rng.Uniform(4.0, 20.0);
+    sharing.cluster.AddMachine(std::move(capacity));
+    const auto users = static_cast<std::size_t>(rng.Int(2, 5));
+    for (UserId i = 0; i < users; ++i) {
+      JobSpec job{.id = i, .name = "u" + std::to_string(i)};
+      ResourceVector demand(resources);
+      for (std::size_t r = 0; r < resources; ++r) demand[r] = rng.Uniform(0.1, 3.0);
+      job.demand = std::move(demand);
+      sharing.jobs.push_back(std::move(job));
+    }
+    const CompiledProblem problem = Compile(sharing);
+    if (!MatchesSingleMachineDrf(problem, solver(problem)))
+      return {false, "mismatch at seed " + std::to_string(seed)};
+  }
+  return {true, std::to_string(trials) + " random single-machine instances"};
+}
+
+CellResult CheckSrf(OfflinePolicy policy, std::size_t trials) {
+  const OfflineSolver solver = SolverFor(policy);
+
+  if (policy == OfflinePolicy::kPerMachineDrf) {
+    // Curated: u1 on both machines, u2 pinned to m1. CMMF gives (4,4);
+    // per-machine DRF gives (6,2).
+    SharingProblem witness;
+    witness.cluster.AddMachine(ResourceVector{4.0});
+    witness.cluster.AddMachine(ResourceVector{4.0});
+    JobSpec u1{.id = 0, .name = "u1", .demand = {1.0}};
+    JobSpec u2{.id = 1, .name = "u2", .demand = {1.0}};
+    u2.constraint = Constraint::Whitelist({0});
+    witness.jobs = {u1, u2};
+    const CompiledProblem compiled = Compile(witness);
+    if (!MatchesSingleResourceCmmf(compiled, solver(compiled)))
+      return {false, "2x4-CPU witness: per-machine split != CMMF"};
+    return {true, "curated witness unexpectedly matched"};
+  }
+  if (policy == OfflinePolicy::kCdrf) {
+    const CompiledProblem problem = Compile(paper::Fig3());
+    if (!MatchesSingleResourceCmmf(problem, solver(problem)))
+      return {false, "Fig. 3: CDRF (1,3,1,..) != CMMF (1.5,1.5,1.5,1.5,1,1,1)"};
+    return {true, "Fig. 3 witness unexpectedly matched"};
+  }
+
+  for (std::uint64_t seed = 1; seed <= trials; ++seed) {
+    const CompiledProblem problem = Compile(
+        RandomInstance(seed * 89 + 19, /*max_machines=*/4, /*max_resources=*/1));
+    if (problem.num_resources != 1) continue;
+    if (!MatchesSingleResourceCmmf(problem, solver(problem)))
+      return {false, "mismatch at seed " + std::to_string(seed)};
+  }
+  return {true, "random single-resource instances"};
+}
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv,
+              {{"trials", "random instances per verified cell (default 25)"}});
+  const auto trials = static_cast<std::size_t>(flags.GetInt("trials", 25));
+
+  bench::PrintHeader(
+      "Table I — sharing properties under placement constraints",
+      "yes = verified on randomized instances; NO = concrete counterexample.");
+
+  const OfflinePolicy policies[] = {
+      OfflinePolicy::kPerMachineDrf, OfflinePolicy::kDrfh, OfflinePolicy::kCdrf,
+      OfflinePolicy::kTsf};
+
+  TextTable table({"property", "PerMachineDRF", "DRFH", "CDRF", "TSF"});
+  std::vector<std::string> notes;
+  using Checker = CellResult (*)(OfflinePolicy, std::size_t);
+  const std::pair<const char*, Checker> rows[] = {
+      {"SI", &CheckSi},   {"SP", &CheckSp},   {"EF", &CheckEf},
+      {"PO", &CheckPo},   {"SMF", &CheckSmf}, {"SRF", &CheckSrf}};
+
+  for (const auto& [name, checker] : rows) {
+    std::vector<std::string> row = {name};
+    for (const OfflinePolicy policy : policies) {
+      const CellResult result = checker(policy, trials);
+      row.push_back(Mark(result));
+      if (!result.holds)
+        notes.push_back(std::string(name) + " / " + ToString(policy) + ": " +
+                        result.detail);
+    }
+    table.AddRow(std::move(row));
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n\n%s", table.Format().c_str());
+
+  bench::PrintSection("counterexample details");
+  for (const std::string& note : notes) std::printf("  %s\n", note.c_str());
+
+  std::printf(
+      "\npaper Table I: PerMachineDRF lacks SI/PO/SRF; DRFH lacks SI/SRF;\n"
+      "CDRF lacks SP/EF/SRF; TSF satisfies all six. (Our DRFH is the\n"
+      "idealized LP variant, which provably coincides with CMMF on one\n"
+      "resource; the paper's SRF 'no' refers to the deployed heuristic.)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tsf
+
+int main(int argc, char** argv) { return tsf::Run(argc, argv); }

@@ -1,0 +1,75 @@
+// Policy bake-off on a trace-driven cluster simulation.
+//
+//   $ ./examples/compare_policies [--machines N] [--jobs N] [--seed S]
+//
+// Synthesizes a Google-like workload (machine heterogeneity, attribute
+// constraints, mice-dominated job sizes), runs it under all six online
+// policies from the paper's evaluation, and prints a comparison of job and
+// task metrics — a miniature of the Figs. 9-11 harnesses.
+#include <cstdio>
+
+#include "sim/des.h"
+#include "stats/cdf.h"
+#include "stats/table.h"
+#include "trace/google.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  using namespace tsf;
+  Flags flags(argc, argv,
+              {{"machines", "cluster size (default 200)"},
+               {"jobs", "number of jobs (default 800)"},
+               {"seed", "workload seed (default 1)"}});
+
+  trace::GoogleTraceConfig config;
+  config.num_machines = static_cast<std::size_t>(flags.GetInt("machines", 200));
+  config.num_jobs = static_cast<std::size_t>(flags.GetInt("jobs", 800));
+  config.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+
+  const Workload workload = trace::SynthesizeGoogleWorkload(config);
+  std::printf("workload: %zu machines, %zu jobs, %zu tasks\n",
+              config.num_machines, workload.jobs.size(), workload.TotalTasks());
+
+  const std::vector<OnlinePolicy> policies = {
+      OnlinePolicy::Fifo(),         OnlinePolicy::Drf(),
+      OnlinePolicy::Cdrf(),         OnlinePolicy::Cmmf(0, "CPU"),
+      OnlinePolicy::Cmmf(1, "Mem"), OnlinePolicy::Tsf()};
+
+  TextTable table({"policy", "makespan(s)", "job compl p50", "job compl p90",
+                   "task queue p50", "task queue p90"});
+  std::vector<SimResult> results;
+  for (const OnlinePolicy& policy : policies) {
+    results.push_back(Simulate(workload, policy));
+    const SimResult& result = results.back();
+    EmpiricalCdf completion, queueing;
+    completion.AddAll(result.JobCompletionTimes());
+    queueing.AddAll(result.TaskQueueingDelays());
+    table.AddRow({policy.name, TextTable::Num(result.makespan, 0),
+                  TextTable::Num(completion.Quantile(0.5), 1),
+                  TextTable::Num(completion.Quantile(0.9), 1),
+                  TextTable::Num(queueing.Quantile(0.5), 1),
+                  TextTable::Num(queueing.Quantile(0.9), 1)});
+  }
+  std::printf("\n%s", table.Format().c_str());
+
+  // Per-task speedup of TSF vs each fair alternative (tasks align across
+  // policies because the workload pre-samples every task's runtime).
+  const SimResult& tsf = results.back();
+  std::printf("\nper-task queueing-delay comparison vs TSF:\n");
+  for (std::size_t k = 1; k + 1 < results.size(); ++k) {
+    std::size_t faster = 0, slower = 0;
+    for (std::size_t t = 0; t < tsf.tasks.size(); ++t) {
+      const double delta = results[k].tasks[t].QueueingDelay() -
+                           tsf.tasks[t].QueueingDelay();
+      faster += delta > 1.0;
+      slower += delta < -1.0;
+    }
+    std::printf("  %-4s: TSF faster for %5.1f%% of tasks, slower for %5.1f%%\n",
+                policies[k].name.c_str(),
+                100.0 * static_cast<double>(faster) /
+                    static_cast<double>(tsf.tasks.size()),
+                100.0 * static_cast<double>(slower) /
+                    static_cast<double>(tsf.tasks.size()));
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Offer-based cluster manager walkthrough (the Mesos-like substrate).
+//
+//   $ ./examples/mesos_offers
+//
+// Builds a small heterogeneous fleet, registers frameworks with node
+// whitelists at staggered times, runs the offer cycle under the TSF
+// allocator, and prints the task-share timeline — a miniature of the
+// Fig. 5 micro-benchmark on a custom scenario.
+#include <cstdio>
+
+#include "mesos/mesos.h"
+#include "stats/table.h"
+
+int main() {
+  using namespace tsf;
+  using namespace tsf::mesos;
+
+  // A 10-node fleet: six standard nodes and four big-memory nodes.
+  ClusterConfig config;
+  for (int n = 0; n < 6; ++n)
+    config.slaves.push_back({ResourceVector{4.0, 8192.0},
+                             "std-" + std::to_string(n + 1)});
+  for (int n = 0; n < 4; ++n)
+    config.slaves.push_back({ResourceVector{8.0, 32768.0},
+                             "mem-" + std::to_string(n + 1)});
+  config.policy = AllocatorPolicy::kTsf;
+  config.sample_interval = 5.0;
+  config.seed = 7;
+
+  // Three frameworks: a batch job that runs anywhere, an in-memory store
+  // pinned to the big-memory nodes (slaves 6-9), and a latecomer service.
+  std::vector<FrameworkSpec> frameworks(3);
+  frameworks[0] = {.name = "batch", .start_time = 0.0, .num_tasks = 200,
+                   .demand = ResourceVector{1.0, 1024.0}, .mean_runtime = 12.0,
+                   .runtime_jitter = 0.2};
+  frameworks[1] = {.name = "memstore", .start_time = 20.0, .num_tasks = 40,
+                   .demand = ResourceVector{1.0, 8192.0}, .mean_runtime = 30.0,
+                   .runtime_jitter = 0.2, .whitelist = {6, 7, 8, 9}};
+  frameworks[2] = {.name = "service", .start_time = 60.0, .num_tasks = 30,
+                   .demand = ResourceVector{2.0, 2048.0}, .mean_runtime = 15.0,
+                   .runtime_jitter = 0.2};
+
+  const SimOutcome outcome = RunCluster(config, frameworks);
+
+  std::printf("task-share timeline (share = running / unconstrained monopoly):\n");
+  TextTable timeline({"t(s)", "batch", "memstore", "service"});
+  const std::size_t stride = std::max<std::size_t>(1, outcome.timeline.size() / 25);
+  for (std::size_t k = 0; k < outcome.timeline.size(); k += stride) {
+    const SharePoint& point = outcome.timeline[k];
+    timeline.AddRow({TextTable::Num(point.time, 0),
+                     TextTable::Num(point.task_share[0], 2),
+                     TextTable::Num(point.task_share[1], 2),
+                     TextTable::Num(point.task_share[2], 2)});
+  }
+  std::printf("%s", timeline.Format().c_str());
+
+  std::printf("\ncompletions:\n");
+  for (const FrameworkStats& fw : outcome.frameworks)
+    std::printf("  %-9s first task %6.1fs, done %6.1fs (h=%.0f)\n",
+                fw.name.c_str(), fw.first_task_time, fw.completion_time, fw.h);
+  std::printf("\nNote how 'memstore' receives its whitelisted nodes as soon "
+              "as running\n'batch' tasks drain, without preemption, and how "
+              "the allocator keeps\noffering the least-served framework "
+              "first.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+#include "core/allocation.h"
+
+#include <cstdio>
+
+namespace tsf {
+
+double Allocation::UserTasks(UserId i) const {
+  double total = 0;
+  for (MachineId m = 0; m < num_machines_; ++m) total += tasks(i, m);
+  return total;
+}
+
+ResourceVector Allocation::MachineUsage(MachineId m,
+                                        const CompiledProblem& problem) const {
+  ResourceVector usage(problem.num_resources);
+  for (UserId i = 0; i < num_users_; ++i) {
+    const double n = tasks(i, m);
+    if (n > 0.0) usage += n * problem.demand[i];
+  }
+  return usage;
+}
+
+ResourceVector Allocation::MachineSlack(MachineId m,
+                                        const CompiledProblem& problem) const {
+  ResourceVector slack = problem.machine_capacity[m];
+  slack -= MachineUsage(m, problem);
+  return slack;
+}
+
+std::vector<double> Allocation::TaskShares(const CompiledProblem& problem) const {
+  std::vector<double> shares(num_users_);
+  for (UserId i = 0; i < num_users_; ++i)
+    shares[i] = UserTasks(i) / (problem.h[i] * problem.weight[i]);
+  return shares;
+}
+
+bool Allocation::IsFeasible(const CompiledProblem& problem, std::string* error,
+                            double tolerance) const {
+  auto fail = [error](std::string message) {
+    if (error != nullptr) *error = std::move(message);
+    return false;
+  };
+  if (num_users_ != problem.num_users || num_machines_ != problem.num_machines)
+    return fail("allocation shape does not match problem");
+
+  for (UserId i = 0; i < num_users_; ++i) {
+    for (MachineId m = 0; m < num_machines_; ++m) {
+      const double n = tasks(i, m);
+      if (n < -tolerance)
+        return fail("negative task count for user " + std::to_string(i));
+      if (n > tolerance && !problem.eligible[i].Test(m))
+        return fail("user " + std::to_string(i) + " placed on ineligible machine " +
+                    std::to_string(m));
+    }
+  }
+  for (MachineId m = 0; m < num_machines_; ++m) {
+    const ResourceVector usage = MachineUsage(m, problem);
+    for (std::size_t r = 0; r < problem.num_resources; ++r) {
+      if (usage[r] > problem.machine_capacity[m][r] + tolerance)
+        return fail("machine " + std::to_string(m) + " over capacity in resource " +
+                    std::to_string(r));
+    }
+  }
+  return true;
+}
+
+double Allocation::Utilization(const CompiledProblem& problem,
+                               std::size_t r) const {
+  // machine_capacity is normalized, so summing usage across machines yields
+  // the datacenter-wide fraction directly.
+  ResourceVector used(problem.num_resources);
+  for (MachineId m = 0; m < num_machines_; ++m) used += MachineUsage(m, problem);
+  if (r != SIZE_MAX) {
+    TSF_CHECK_LT(r, problem.num_resources);
+    return used[r];
+  }
+  return used.Sum() / static_cast<double>(problem.num_resources);
+}
+
+std::string Allocation::ToString(const CompiledProblem& problem) const {
+  std::string out;
+  const std::vector<double> shares = TaskShares(problem);
+  for (UserId i = 0; i < num_users_; ++i) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "u%zu: tasks=%.3f share=%.4f  [", i,
+                  UserTasks(i), shares[i]);
+    out += line;
+    bool first = true;
+    for (MachineId m = 0; m < num_machines_; ++m) {
+      if (tasks(i, m) <= 1e-9) continue;
+      char cell[64];
+      std::snprintf(cell, sizeof(cell), "%sm%zu:%.3f", first ? "" : ", ", m,
+                    tasks(i, m));
+      out += cell;
+      first = false;
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+}  // namespace tsf

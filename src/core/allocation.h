@@ -1,0 +1,69 @@
+// Allocations: how many (divisible) tasks each user runs on each machine.
+//
+// Offline policies produce an Allocation; property checkers and tests
+// interrogate it (feasibility, per-user totals, shares, utilization).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/cluster.h"
+
+namespace tsf {
+
+class Allocation {
+ public:
+  Allocation() = default;
+  Allocation(std::size_t num_users, std::size_t num_machines)
+      : num_users_(num_users),
+        num_machines_(num_machines),
+        tasks_(num_users * num_machines, 0.0) {}
+
+  std::size_t num_users() const { return num_users_; }
+  std::size_t num_machines() const { return num_machines_; }
+
+  double tasks(UserId i, MachineId m) const {
+    TSF_DCHECK(i < num_users_ && m < num_machines_);
+    return tasks_[i * num_machines_ + m];
+  }
+  void set_tasks(UserId i, MachineId m, double n) {
+    TSF_DCHECK(i < num_users_ && m < num_machines_);
+    tasks_[i * num_machines_ + m] = n;
+  }
+  void add_tasks(UserId i, MachineId m, double n) {
+    TSF_DCHECK(i < num_users_ && m < num_machines_);
+    tasks_[i * num_machines_ + m] += n;
+  }
+
+  // n_i: total tasks of user i across machines.
+  double UserTasks(UserId i) const;
+
+  // Resources consumed on machine m (normalized units, given the problem's
+  // normalized demands).
+  ResourceVector MachineUsage(MachineId m, const CompiledProblem& problem) const;
+
+  // Leftover capacity on machine m.
+  ResourceVector MachineSlack(MachineId m, const CompiledProblem& problem) const;
+
+  // Per-user task share s_i = n_i / (h_i w_i) — the quantity TSF equalizes.
+  std::vector<double> TaskShares(const CompiledProblem& problem) const;
+
+  // Feasibility per Sec. IV-B2: no machine over capacity (within tolerance)
+  // and no tasks placed on ineligible machines. On failure, *error explains.
+  bool IsFeasible(const CompiledProblem& problem, std::string* error = nullptr,
+                  double tolerance = 1e-6) const;
+
+  // Fraction of datacenter resource r in use, averaged over resources when
+  // r == SIZE_MAX.
+  double Utilization(const CompiledProblem& problem,
+                     std::size_t r = SIZE_MAX) const;
+
+  std::string ToString(const CompiledProblem& problem) const;
+
+ private:
+  std::size_t num_users_ = 0;
+  std::size_t num_machines_ = 0;
+  std::vector<double> tasks_;  // row-major [user][machine]
+};
+
+}  // namespace tsf

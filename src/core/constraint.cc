@@ -1,0 +1,100 @@
+#include "core/constraint.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace tsf {
+
+AttributeSet::AttributeSet(std::vector<AttributeId> ids) : ids_(std::move(ids)) {
+  std::sort(ids_.begin(), ids_.end());
+  ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+}
+
+void AttributeSet::Add(AttributeId id) {
+  const auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it == ids_.end() || *it != id) ids_.insert(it, id);
+}
+
+bool AttributeSet::Contains(AttributeId id) const {
+  return std::binary_search(ids_.begin(), ids_.end(), id);
+}
+
+bool AttributeSet::ContainsAll(const AttributeSet& required) const {
+  return std::includes(ids_.begin(), ids_.end(), required.ids_.begin(),
+                       required.ids_.end());
+}
+
+Constraint Constraint::None() { return Constraint{}; }
+
+Constraint Constraint::RequireAttributes(AttributeSet required) {
+  Constraint c;
+  c.kind_ = Kind::kRequireAttributes;
+  c.attributes_ = std::move(required);
+  return c;
+}
+
+namespace {
+std::vector<MachineId> SortedUnique(std::vector<MachineId> machines) {
+  std::sort(machines.begin(), machines.end());
+  machines.erase(std::unique(machines.begin(), machines.end()), machines.end());
+  return machines;
+}
+}  // namespace
+
+Constraint Constraint::Whitelist(std::vector<MachineId> machines) {
+  Constraint c;
+  c.kind_ = Kind::kWhitelist;
+  c.machines_ = SortedUnique(std::move(machines));
+  return c;
+}
+
+Constraint Constraint::Blacklist(std::vector<MachineId> machines) {
+  Constraint c;
+  c.kind_ = Kind::kBlacklist;
+  c.machines_ = SortedUnique(std::move(machines));
+  return c;
+}
+
+bool Constraint::Allows(MachineId id,
+                        const AttributeSet& machine_attributes) const {
+  switch (kind_) {
+    case Kind::kNone:
+      return true;
+    case Kind::kRequireAttributes:
+      return machine_attributes.ContainsAll(attributes_);
+    case Kind::kWhitelist:
+      return std::binary_search(machines_.begin(), machines_.end(), id);
+    case Kind::kBlacklist:
+      return !std::binary_search(machines_.begin(), machines_.end(), id);
+  }
+  return false;
+}
+
+std::string Constraint::ToString() const {
+  switch (kind_) {
+    case Kind::kNone:
+      return "none";
+    case Kind::kRequireAttributes: {
+      std::string out = "attrs{";
+      for (std::size_t i = 0; i < attributes_.ids().size(); ++i) {
+        if (i > 0) out += ",";
+        out += std::to_string(attributes_.ids()[i]);
+      }
+      return out + "}";
+    }
+    case Kind::kWhitelist:
+    case Kind::kBlacklist: {
+      std::string out = kind_ == Kind::kWhitelist ? "whitelist{" : "blacklist{";
+      for (std::size_t i = 0; i < machines_.size(); ++i) {
+        if (i > 0) out += ",";
+        out += std::to_string(machines_[i]);
+      }
+      return out + "}";
+    }
+  }
+  return "?";
+}
+
+}  // namespace tsf

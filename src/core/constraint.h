@@ -1,0 +1,82 @@
+// Placement constraints (Sec. II-A).
+//
+// The paper models simple, non-combinatorial hard constraints: a job can run
+// on a machine iff the machine satisfies the job's requirements. Two
+// concrete forms appear in the paper and both are supported:
+//
+//  * attribute requirements — the trace-driven model (Sec. VI-B): machines
+//    carry attributes (GPU, kernel version, machine class, public IP, ...)
+//    and a task requires a subset of them;
+//  * machine whitelists / blacklists — the Mesos prototype's interface
+//    (Sec. VI-A): explicit node lists.
+//
+// A Constraint is the declarative form; Cluster compiles it against a
+// concrete machine list into an eligibility bitset (the job's row of the
+// bipartite constraint graph in Fig. 1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bitset.h"
+
+namespace tsf {
+
+using AttributeId = std::uint32_t;
+using MachineId = std::size_t;
+
+// Declarative machine attributes: an unordered small set of attribute ids.
+class AttributeSet {
+ public:
+  AttributeSet() = default;
+  explicit AttributeSet(std::vector<AttributeId> ids);
+
+  // Idempotent insert; keeps the set sorted for fast subset tests.
+  void Add(AttributeId id);
+  bool Contains(AttributeId id) const;
+
+  // True if every attribute in `required` is present here.
+  bool ContainsAll(const AttributeSet& required) const;
+
+  std::size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+  const std::vector<AttributeId>& ids() const { return ids_; }
+
+ private:
+  std::vector<AttributeId> ids_;  // sorted, unique
+};
+
+class Constraint {
+ public:
+  enum class Kind {
+    kNone,            // can run anywhere
+    kRequireAttributes,
+    kWhitelist,       // only the listed machines
+    kBlacklist,       // everywhere except the listed machines
+  };
+
+  // Unconstrained (runs on every machine).
+  Constraint() = default;
+
+  static Constraint None();
+  static Constraint RequireAttributes(AttributeSet required);
+  static Constraint Whitelist(std::vector<MachineId> machines);
+  static Constraint Blacklist(std::vector<MachineId> machines);
+
+  Kind kind() const { return kind_; }
+  const AttributeSet& required_attributes() const { return attributes_; }
+  const std::vector<MachineId>& machine_list() const { return machines_; }
+
+  // Does a machine with the given id and attributes satisfy this constraint?
+  bool Allows(MachineId id, const AttributeSet& machine_attributes) const;
+
+  std::string ToString() const;
+
+ private:
+  Kind kind_ = Kind::kNone;
+  AttributeSet attributes_;
+  std::vector<MachineId> machines_;  // sorted, unique (whitelist/blacklist)
+};
+
+}  // namespace tsf

@@ -1,0 +1,277 @@
+#include "core/offline/multiclass.h"
+
+#include <cmath>
+#include <limits>
+
+#include "lp/simplex.h"
+#include "util/check.h"
+
+namespace tsf {
+namespace {
+
+constexpr double kShareEps = 1e-7;
+
+// Variable layout: one variable per (user, class, eligible machine) triple
+// plus the share level s.
+struct TripleLayout {
+  struct Triple {
+    UserId user;
+    std::size_t cls;
+    MachineId machine;
+  };
+  std::vector<Triple> triples;
+  std::vector<std::vector<std::vector<std::size_t>>> by_user_class;  // ids
+  std::vector<std::vector<std::size_t>> by_machine;
+  std::size_t share_var = 0;
+
+  explicit TripleLayout(const CompiledMultiClass& problem)
+      : by_user_class(problem.num_users),
+        by_machine(problem.num_machines) {
+    for (UserId i = 0; i < problem.num_users; ++i) {
+      by_user_class[i].resize(problem.mix[i].size());
+      for (std::size_t c = 0; c < problem.mix[i].size(); ++c) {
+        problem.eligible[i].ForEachSet([&](std::size_t m) {
+          const std::size_t id = triples.size();
+          triples.push_back({i, c, m});
+          by_user_class[i][c].push_back(id);
+          by_machine[m].push_back(id);
+        });
+      }
+    }
+    share_var = triples.size();
+  }
+
+  std::size_t num_variables() const { return triples.size() + 1; }
+};
+
+struct RoundSolution {
+  bool feasible = false;
+  double share = 0.0;
+  MultiClassAllocation allocation;
+};
+
+MultiClassAllocation EmptyAllocation(const CompiledMultiClass& problem) {
+  MultiClassAllocation allocation;
+  allocation.num_users = problem.num_users;
+  allocation.tasks.resize(problem.num_users);
+  for (UserId i = 0; i < problem.num_users; ++i)
+    allocation.tasks[i].assign(problem.mix[i].size(),
+                               std::vector<double>(problem.num_machines, 0.0));
+  return allocation;
+}
+
+// Maximize s subject to
+//   per active user i, class c: sum_m n_icm = mix_ic * H_i w_i * s
+//   per inactive user i:        sum_cm n_icm >= floor_i, with the mix kept
+//                               (class totals >= mix * floor)
+//   machine capacities.
+RoundSolution SolveRound(const CompiledMultiClass& problem,
+                         const TripleLayout& layout,
+                         const std::vector<bool>& active,
+                         const std::vector<double>& floor_tasks) {
+  lp::Problem lp(layout.num_variables());
+  lp.SetObjectiveCoefficient(layout.share_var, 1.0);
+
+  for (UserId i = 0; i < problem.num_users; ++i) {
+    const double scale = problem.H[i] * problem.weight[i];
+    for (std::size_t c = 0; c < problem.mix[i].size(); ++c) {
+      std::vector<std::pair<std::size_t, double>> terms;
+      for (const std::size_t id : layout.by_user_class[i][c])
+        terms.emplace_back(id, 1.0);
+      if (active[i]) {
+        terms.emplace_back(layout.share_var, -problem.mix[i][c] * scale);
+        lp.AddConstraintSparse(terms, lp::Relation::kEqual, 0.0);
+      } else if (floor_tasks[i] > 0.0) {
+        lp.AddConstraintSparse(terms, lp::Relation::kGreaterEqual,
+                               problem.mix[i][c] * floor_tasks[i]);
+      }
+    }
+  }
+
+  for (MachineId m = 0; m < problem.num_machines; ++m) {
+    for (std::size_t r = 0; r < problem.num_resources; ++r) {
+      std::vector<std::pair<std::size_t, double>> terms;
+      for (const std::size_t id : layout.by_machine[m]) {
+        const auto& triple = layout.triples[id];
+        const double d = problem.demand[triple.user][triple.cls][r];
+        if (d > 0.0) terms.emplace_back(id, d);
+      }
+      if (!terms.empty())
+        lp.AddConstraintSparse(terms, lp::Relation::kLessEqual,
+                               problem.machine_capacity[m][r]);
+    }
+  }
+
+  const lp::Solution solution = lp.Solve();
+  RoundSolution round;
+  if (!solution.optimal()) return round;
+  round.feasible = true;
+  round.share = solution.objective;
+  round.allocation = EmptyAllocation(problem);
+  for (std::size_t id = 0; id < layout.triples.size(); ++id) {
+    const auto& triple = layout.triples[id];
+    round.allocation.tasks[triple.user][triple.cls][triple.machine] =
+        std::max(0.0, solution.x[id]);
+  }
+  return round;
+}
+
+double MaxUserShare(const CompiledMultiClass& problem,
+                    const TripleLayout& layout, UserId j,
+                    const std::vector<double>& floor_tasks) {
+  std::vector<bool> active(problem.num_users, false);
+  active[j] = true;
+  std::vector<double> floors = floor_tasks;
+  floors[j] = 0.0;
+  const RoundSolution round = SolveRound(problem, layout, active, floors);
+  TSF_CHECK(round.feasible);
+  return round.share;
+}
+
+}  // namespace
+
+double MultiClassAllocation::UserTasks(UserId i) const {
+  double total = 0;
+  for (const auto& machines : tasks[i])
+    for (const double n : machines) total += n;
+  return total;
+}
+
+double MultiClassAllocation::ClassTasks(UserId i, std::size_t c) const {
+  double total = 0;
+  for (const double n : tasks[i][c]) total += n;
+  return total;
+}
+
+double MultiClassMonopolyTasks(const CompiledMultiClass& problem, UserId i) {
+  // Monopoly: constraints removed (every machine usable), mix enforced.
+  // Variables: n_cm for this user's classes over all machines, plus n.
+  const std::size_t classes = problem.mix[i].size();
+  const std::size_t machines = problem.num_machines;
+  lp::Problem lp(classes * machines + 1);
+  const std::size_t total_var = classes * machines;
+  lp.SetObjectiveCoefficient(total_var, 1.0);
+  auto var = [machines](std::size_t c, MachineId m) { return c * machines + m; };
+
+  for (std::size_t c = 0; c < classes; ++c) {
+    std::vector<std::pair<std::size_t, double>> terms;
+    for (MachineId m = 0; m < machines; ++m) terms.emplace_back(var(c, m), 1.0);
+    terms.emplace_back(total_var, -problem.mix[i][c]);
+    lp.AddConstraintSparse(terms, lp::Relation::kEqual, 0.0);
+  }
+  for (MachineId m = 0; m < machines; ++m) {
+    for (std::size_t r = 0; r < problem.num_resources; ++r) {
+      std::vector<std::pair<std::size_t, double>> terms;
+      for (std::size_t c = 0; c < classes; ++c) {
+        const double d = problem.demand[i][c][r];
+        if (d > 0.0) terms.emplace_back(var(c, m), d);
+      }
+      if (!terms.empty())
+        lp.AddConstraintSparse(terms, lp::Relation::kLessEqual,
+                               problem.machine_capacity[m][r]);
+    }
+  }
+  const lp::Solution solution = lp.Solve();
+  TSF_CHECK(solution.optimal()) << "monopoly LP failed";
+  return solution.objective;
+}
+
+CompiledMultiClass CompileMultiClass(const MultiClassProblem& problem) {
+  const Cluster& cluster = problem.cluster;
+  TSF_CHECK_GT(cluster.num_machines(), 0u);
+  TSF_CHECK(!problem.users.empty());
+
+  CompiledMultiClass compiled;
+  compiled.num_users = problem.users.size();
+  compiled.num_machines = cluster.num_machines();
+  compiled.num_resources = cluster.num_resources();
+  for (MachineId m = 0; m < compiled.num_machines; ++m)
+    compiled.machine_capacity.push_back(cluster.NormalizedCapacity(m));
+
+  for (const MultiClassJobSpec& user : problem.users) {
+    TSF_CHECK_GT(user.weight, 0.0);
+    TSF_CHECK(!user.class_demand.empty()) << user.name << ": no classes";
+    TSF_CHECK_EQ(user.class_demand.size(), user.class_mix.size());
+    double mix_sum = 0;
+    std::vector<ResourceVector> demands;
+    for (std::size_t c = 0; c < user.class_demand.size(); ++c) {
+      TSF_CHECK_GT(user.class_mix[c], 0.0)
+          << user.name << ": class mix must be strictly positive";
+      mix_sum += user.class_mix[c];
+      ResourceVector d = cluster.NormalizedDemand(user.class_demand[c]);
+      TSF_CHECK(!d.IsZero()) << user.name << ": zero-demand class";
+      demands.push_back(std::move(d));
+    }
+    TSF_CHECK(std::abs(mix_sum - 1.0) < 1e-9)
+        << user.name << ": class mix must sum to 1 (got " << mix_sum << ")";
+    DynamicBitset eligible = cluster.Eligibility(user.constraint);
+    TSF_CHECK(eligible.Any()) << user.name << ": no eligible machine";
+    compiled.demand.push_back(std::move(demands));
+    compiled.mix.push_back(user.class_mix);
+    compiled.eligible.push_back(std::move(eligible));
+    compiled.weight.push_back(user.weight);
+  }
+
+  compiled.H.resize(compiled.num_users);
+  for (UserId i = 0; i < compiled.num_users; ++i) {
+    compiled.H[i] = MultiClassMonopolyTasks(compiled, i);
+    TSF_CHECK_GT(compiled.H[i], 0.0);
+  }
+  return compiled;
+}
+
+MultiClassResult SolveMultiClassTsf(const CompiledMultiClass& problem) {
+  const TripleLayout layout(problem);
+  const std::size_t n = problem.num_users;
+
+  std::vector<bool> active(n, true);
+  std::vector<double> frozen_tasks(n, 0.0);
+  MultiClassResult result;
+  result.allocation = EmptyAllocation(problem);
+  result.shares.assign(n, 0.0);
+
+  std::size_t num_active = n;
+  std::size_t rounds = 0;
+  while (num_active > 0) {
+    TSF_CHECK_LE(++rounds, n + 1) << "multi-class filling did not converge";
+    const RoundSolution round =
+        SolveRound(problem, layout, active, frozen_tasks);
+    TSF_CHECK(round.feasible);
+    result.allocation = round.allocation;
+
+    std::vector<double> current(n);
+    for (UserId i = 0; i < n; ++i)
+      current[i] = active[i] ? round.allocation.UserTasks(i) : frozen_tasks[i];
+
+    std::vector<UserId> newly_inactive;
+    double closest_gap = std::numeric_limits<double>::infinity();
+    UserId closest = n;
+    for (UserId j = 0; j < n; ++j) {
+      if (!active[j]) continue;
+      const double max_share = MaxUserShare(problem, layout, j, current);
+      const double gap = max_share - round.share;
+      if (gap <= kShareEps * std::max(1.0, round.share)) {
+        newly_inactive.push_back(j);
+      } else if (gap < closest_gap) {
+        closest_gap = gap;
+        closest = j;
+      }
+    }
+    if (newly_inactive.empty()) {
+      TSF_CHECK_LT(closest, n);
+      newly_inactive.push_back(closest);
+    }
+    for (const UserId j : newly_inactive) {
+      active[j] = false;
+      frozen_tasks[j] = round.allocation.UserTasks(j);
+      --num_active;
+    }
+  }
+
+  for (UserId i = 0; i < n; ++i)
+    result.shares[i] = result.allocation.UserTasks(i) /
+                       (problem.H[i] * problem.weight[i]);
+  return result;
+}
+
+}  // namespace tsf

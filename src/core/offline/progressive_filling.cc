@@ -1,0 +1,193 @@
+#include "core/offline/progressive_filling.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "lp/simplex.h"
+#include "util/check.h"
+#include "util/log.h"
+
+namespace tsf {
+namespace {
+
+// Two shares within this distance are "equal" for saturation decisions.
+constexpr double kShareEps = 1e-7;
+
+// Variable layout for the round LP: one variable per constraint-graph edge
+// (user, eligible machine), plus the share level s as the last variable.
+struct EdgeLayout {
+  std::vector<std::pair<UserId, MachineId>> edges;
+  std::vector<std::vector<std::size_t>> user_edges;    // per user
+  std::vector<std::vector<std::size_t>> machine_edges; // per machine
+  std::size_t share_var = 0;                           // index of s
+
+  explicit EdgeLayout(const CompiledProblem& problem)
+      : user_edges(problem.num_users), machine_edges(problem.num_machines) {
+    for (UserId i = 0; i < problem.num_users; ++i) {
+      problem.eligible[i].ForEachSet([&](std::size_t m) {
+        const std::size_t e = edges.size();
+        edges.emplace_back(i, m);
+        user_edges[i].push_back(e);
+        machine_edges[m].push_back(e);
+      });
+    }
+    share_var = edges.size();
+  }
+
+  std::size_t num_variables() const { return edges.size() + 1; }
+};
+
+struct RoundSolution {
+  bool feasible = false;
+  double share = 0.0;
+  Allocation allocation;
+};
+
+// Solves: maximize s subject to
+//   (2) sum_m n_im = denominator_i * s          for i with active[i]
+//   (3) sum_m n_im >= floor_tasks[i]            for i without active[i]
+//   (4) per-machine capacity.
+RoundSolution SolveRound(const CompiledProblem& problem, const EdgeLayout& layout,
+                         const std::vector<double>& denominator,
+                         const std::vector<bool>& active,
+                         const std::vector<double>& floor_tasks) {
+  lp::Problem lp(layout.num_variables());
+  lp.SetObjectiveCoefficient(layout.share_var, 1.0);
+
+  for (UserId i = 0; i < problem.num_users; ++i) {
+    std::vector<std::pair<std::size_t, double>> terms;
+    terms.reserve(layout.user_edges[i].size() + 1);
+    for (const std::size_t e : layout.user_edges[i]) terms.emplace_back(e, 1.0);
+    if (active[i]) {
+      terms.emplace_back(layout.share_var, -denominator[i]);
+      lp.AddConstraintSparse(terms, lp::Relation::kEqual, 0.0);
+    } else if (floor_tasks[i] > 0.0) {
+      lp.AddConstraintSparse(terms, lp::Relation::kGreaterEqual, floor_tasks[i]);
+    }
+  }
+
+  for (MachineId m = 0; m < problem.num_machines; ++m) {
+    for (std::size_t r = 0; r < problem.num_resources; ++r) {
+      std::vector<std::pair<std::size_t, double>> terms;
+      for (const std::size_t e : layout.machine_edges[m]) {
+        const UserId i = layout.edges[e].first;
+        const double d = problem.demand[i][r];
+        if (d > 0.0) terms.emplace_back(e, d);
+      }
+      if (!terms.empty())
+        lp.AddConstraintSparse(terms, lp::Relation::kLessEqual,
+                               problem.machine_capacity[m][r]);
+    }
+  }
+
+  const lp::Solution solution = lp.Solve();
+  RoundSolution round;
+  if (!solution.optimal()) return round;
+
+  round.feasible = true;
+  round.share = solution.objective;
+  round.allocation = Allocation(problem.num_users, problem.num_machines);
+  for (std::size_t e = 0; e < layout.edges.size(); ++e) {
+    const auto [i, m] = layout.edges[e];
+    round.allocation.set_tasks(i, m, std::max(0.0, solution.x[e]));
+  }
+  return round;
+}
+
+}  // namespace
+
+double MaxShareWithFloors(const CompiledProblem& problem,
+                          const std::vector<double>& denominator, UserId j,
+                          const std::vector<double>& floor_tasks) {
+  TSF_CHECK_LT(j, problem.num_users);
+  TSF_CHECK_EQ(denominator.size(), problem.num_users);
+  TSF_CHECK_EQ(floor_tasks.size(), problem.num_users);
+
+  const EdgeLayout layout(problem);
+  std::vector<bool> active(problem.num_users, false);
+  active[j] = true;
+  const RoundSolution round =
+      SolveRound(problem, layout, denominator, active, floor_tasks);
+  TSF_CHECK(round.feasible)
+      << "freeze-probe LP infeasible — floors exceed capacity?";
+  return round.share;
+}
+
+FillingResult ProgressiveFilling(const CompiledProblem& problem,
+                                 const std::vector<double>& denominator) {
+  TSF_CHECK_EQ(denominator.size(), problem.num_users);
+  for (const double d : denominator) TSF_CHECK_GT(d, 0.0);
+
+  const EdgeLayout layout(problem);
+  const std::size_t n = problem.num_users;
+
+  std::vector<bool> active(n, true);
+  std::vector<double> frozen_tasks(n, 0.0);  // valid where !active
+  FillingResult result;
+  result.freeze_round.assign(n, 0);
+  result.shares.assign(n, 0.0);
+
+  std::size_t num_active = n;
+  std::size_t round_number = 0;
+  while (num_active > 0) {
+    ++round_number;
+    TSF_CHECK_LE(round_number, n + 1) << "progressive filling failed to converge";
+
+    // LP step: raise all active users' shares equally to the maximum.
+    const RoundSolution round =
+        SolveRound(problem, layout, denominator, active, frozen_tasks);
+    TSF_CHECK(round.feasible) << "round LP infeasible";
+    result.round_levels.push_back(round.share);
+    result.allocation = round.allocation;
+
+    // FREEZE step: an active user j saturates if, holding everyone else's
+    // current totals as floors, j's share cannot rise above the round level.
+    std::vector<double> current_tasks(n);
+    for (UserId i = 0; i < n; ++i)
+      current_tasks[i] = active[i] ? round.allocation.UserTasks(i) : frozen_tasks[i];
+
+    std::vector<UserId> newly_inactive;
+    double closest_gap = std::numeric_limits<double>::infinity();
+    UserId closest_user = n;
+    for (UserId j = 0; j < n; ++j) {
+      if (!active[j]) continue;
+      std::vector<double> floors = current_tasks;
+      floors[j] = 0.0;  // j is the probed user, not a floor
+      const double max_share = MaxShareWithFloors(problem, denominator, j, floors);
+      const double gap = max_share - round.share;
+      if (gap <= kShareEps * std::max(1.0, round.share)) {
+        newly_inactive.push_back(j);
+      } else if (gap < closest_gap) {
+        closest_gap = gap;
+        closest_user = j;
+      }
+    }
+
+    // Exact arithmetic guarantees at least one saturated user per round; if
+    // round-off hid it, freeze the numerically closest user so the loop
+    // always progresses.
+    if (newly_inactive.empty()) {
+      TSF_CHECK_LT(closest_user, n);
+      TSF_LOG(DEBUG) << "freeze fallback: user " << closest_user << " gap "
+                     << closest_gap;
+      newly_inactive.push_back(closest_user);
+    }
+
+    for (const UserId j : newly_inactive) {
+      active[j] = false;
+      frozen_tasks[j] = round.allocation.UserTasks(j);
+      result.freeze_round[j] = round_number;
+      result.shares[j] = frozen_tasks[j] / denominator[j];
+      --num_active;
+    }
+  }
+
+  // The final round's LP may have topped inactive users up beyond their
+  // frozen floors; report the shares the returned allocation actually gives.
+  for (UserId i = 0; i < n; ++i)
+    result.shares[i] = result.allocation.UserTasks(i) / denominator[i];
+
+  return result;
+}
+
+}  // namespace tsf

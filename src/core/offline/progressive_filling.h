@@ -1,0 +1,54 @@
+// Offline progressive filling (Algorithm 1 of the paper).
+//
+// The engine is generic over the *share denominator*: a policy defines the
+// share of user i as  s_i = n_i / denominator_i  (n_i = total tasks), and
+// progressive filling computes the max-min-fair allocation with respect to
+// those shares under divisible tasks, machine capacities, and placement
+// constraints. Instantiations:
+//
+//   TSF   : denominator_i = h_i * w_i   (unconstrained monopoly tasks)
+//   CDRF  : denominator_i = g_i * w_i   (constrained monopoly tasks)
+//   DRFH  : denominator_i = w_i / max_r d_ir          (dominant share)
+//   CMMF_r: denominator_i = w_i / d_ir                (single resource r)
+//
+// Each round solves one LP to raise every active user's share equally to its
+// maximum, then one LP per active user to decide who has saturated (the
+// FREEZE step); saturated users' task totals are protected by >= constraints
+// in later rounds. This mirrors Algorithm 1 exactly.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/allocation.h"
+#include "core/cluster.h"
+
+namespace tsf {
+
+struct FillingResult {
+  Allocation allocation;
+
+  // s_i under the policy's own share definition, at termination.
+  std::vector<double> shares;
+
+  // Round (1-based) in which each user became inactive.
+  std::vector<std::size_t> freeze_round;
+
+  // Share level reached by each round, in order (the water-filling levels).
+  std::vector<double> round_levels;
+};
+
+// Runs Algorithm 1. `denominator[i]` must be strictly positive. The returned
+// allocation is feasible (capacity + eligibility) and max-min fair w.r.t.
+// n_i / denominator_i.
+FillingResult ProgressiveFilling(const CompiledProblem& problem,
+                                 const std::vector<double>& denominator);
+
+// Maximizes user j's share n_j / denominator_j while every other user i is
+// guaranteed at least `floor_tasks[i]` tasks (placements may reshuffle).
+// Exposed for property checkers (Pareto-optimality and envy probes).
+double MaxShareWithFloors(const CompiledProblem& problem,
+                          const std::vector<double>& denominator, UserId j,
+                          const std::vector<double>& floor_tasks);
+
+}  // namespace tsf

@@ -1,0 +1,236 @@
+#include "core/offline/properties.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace tsf {
+
+double DemandExchangeRatio(const CompiledProblem& problem, UserId j, UserId i) {
+  double ratio = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < problem.num_resources; ++r) {
+    if (problem.demand[i][r] > 0.0)
+      ratio = std::min(ratio, problem.demand[j][r] / problem.demand[i][r]);
+  }
+  TSF_CHECK(ratio != std::numeric_limits<double>::infinity());
+  return ratio;
+}
+
+std::optional<EnvyViolation> FindEnvy(const CompiledProblem& problem,
+                                      const Allocation& allocation,
+                                      double tolerance) {
+  std::optional<EnvyViolation> worst;
+  for (UserId i = 0; i < problem.num_users; ++i) {
+    const double own = allocation.UserTasks(i);
+    for (UserId j = 0; j < problem.num_users; ++j) {
+      if (i == j) continue;
+      // Tasks i can run from j's allocation: per machine m, the bundle
+      // n_jm * d_j supports n_jm * rho_ji tasks of i — but only on machines
+      // i is eligible for.
+      const double rho = DemandExchangeRatio(problem, j, i);
+      double exchanged = 0.0;
+      for (MachineId m = 0; m < problem.num_machines; ++m) {
+        if (!problem.eligible[i].Test(m)) continue;
+        exchanged += allocation.tasks(j, m) * rho;
+      }
+      const double scaled =
+          exchanged * problem.weight[i] / problem.weight[j];
+      if (scaled > own + tolerance) {
+        if (!worst || scaled - own > worst->exchanged_tasks - worst->own_tasks)
+          worst = EnvyViolation{i, j, own, scaled};
+      }
+    }
+  }
+  return worst;
+}
+
+std::optional<ParetoViolation> FindParetoImprovement(
+    const CompiledProblem& problem, const Allocation& allocation,
+    double tolerance) {
+  // Unit denominators turn MaxShareWithFloors into "max tasks for j".
+  const std::vector<double> unit(problem.num_users, 1.0);
+  std::vector<double> totals(problem.num_users);
+  for (UserId i = 0; i < problem.num_users; ++i)
+    totals[i] = allocation.UserTasks(i);
+
+  for (UserId j = 0; j < problem.num_users; ++j) {
+    std::vector<double> floors = totals;
+    floors[j] = 0.0;
+    const double achievable = MaxShareWithFloors(problem, unit, j, floors);
+    // Relative tolerance: LP round-off scales with task counts.
+    const double slack = tolerance * std::max(1.0, totals[j]);
+    if (achievable > totals[j] + slack)
+      return ParetoViolation{j, totals[j], achievable};
+  }
+  return std::nullopt;
+}
+
+DedicatedPools EqualPartition(std::size_t num_users, std::size_t num_machines) {
+  DedicatedPools pools;
+  pools.fraction.assign(num_users,
+                        std::vector<double>(num_machines,
+                                            1.0 / static_cast<double>(num_users)));
+  return pools;
+}
+
+double DedicatedPoolTasks(const CompiledProblem& problem, UserId i,
+                          const std::vector<double>& fraction) {
+  TSF_CHECK_EQ(fraction.size(), problem.num_machines);
+  double tasks = 0.0;
+  for (MachineId m = 0; m < problem.num_machines; ++m) {
+    if (!problem.eligible[i].Test(m) || fraction[m] <= 0.0) continue;
+    tasks += fraction[m] * problem.MonopolyTasksOn(i, m);
+  }
+  return tasks;
+}
+
+SharingIncentiveReport CheckSharingIncentive(const CompiledProblem& problem,
+                                             const DedicatedPools& pools,
+                                             const OfflineSolver& solver,
+                                             bool theorem1_weights,
+                                             double tolerance) {
+  TSF_CHECK_EQ(pools.fraction.size(), problem.num_users);
+  SharingIncentiveReport report;
+  report.dedicated_tasks.resize(problem.num_users);
+  for (UserId i = 0; i < problem.num_users; ++i)
+    report.dedicated_tasks[i] = DedicatedPoolTasks(problem, i, pools.fraction[i]);
+
+  CompiledProblem shared = problem;
+  if (theorem1_weights) {
+    for (UserId i = 0; i < problem.num_users; ++i) {
+      TSF_CHECK_GT(report.dedicated_tasks[i], 0.0)
+          << "Thm. 1 weights need k_i > 0 (user " << i << ")";
+      shared.weight[i] = report.dedicated_tasks[i] / problem.h[i];
+    }
+  }
+
+  const FillingResult result = solver(shared);
+  report.shared_tasks.resize(problem.num_users);
+  for (UserId i = 0; i < problem.num_users; ++i) {
+    report.shared_tasks[i] = result.allocation.UserTasks(i);
+    const double slack = tolerance * std::max(1.0, report.dedicated_tasks[i]);
+    if (report.shared_tasks[i] + slack < report.dedicated_tasks[i] &&
+        report.satisfied) {
+      report.satisfied = false;
+      report.violator = i;
+    }
+  }
+  return report;
+}
+
+CompiledProblem ApplyLie(const CompiledProblem& problem, UserId liar,
+                         const Lie& lie) {
+  TSF_CHECK_LT(liar, problem.num_users);
+  CompiledProblem lied = problem;
+  if (lie.demand.has_value()) {
+    TSF_CHECK_EQ(lie.demand->dimension(), problem.num_resources);
+    TSF_CHECK(!lie.demand->IsZero());
+    lied.demand[liar] = *lie.demand;
+  }
+  if (lie.eligible.has_value()) {
+    TSF_CHECK_EQ(lie.eligible->size(), problem.num_machines);
+    TSF_CHECK(lie.eligible->Any());
+    lied.eligible[liar] = *lie.eligible;
+  }
+  // The scheduler derives monopoly counts from the *reported* demand and
+  // constraints, so recompute them for the liar.
+  lied.h[liar] = 0.0;
+  lied.g[liar] = 0.0;
+  for (MachineId m = 0; m < problem.num_machines; ++m) {
+    const double tasks = lied.MonopolyTasksOn(liar, m);
+    lied.h[liar] += tasks;
+    if (lied.eligible[liar].Test(m)) lied.g[liar] += tasks;
+  }
+  TSF_CHECK_GT(lied.g[liar], 0.0) << "lie leaves no usable machine";
+  return lied;
+}
+
+ManipulationOutcome ProbeManipulation(const CompiledProblem& problem,
+                                      UserId liar, const Lie& lie,
+                                      const OfflineSolver& solver,
+                                      bool theorem1_weights,
+                                      const DedicatedPools* pools) {
+  TSF_CHECK(!theorem1_weights || pools != nullptr)
+      << "Thm. 3 probing needs the dedicated pools that define the weights";
+
+  auto with_weights = [&](const CompiledProblem& instance) {
+    CompiledProblem weighted = instance;
+    if (theorem1_weights) {
+      for (UserId i = 0; i < instance.num_users; ++i) {
+        const double k = DedicatedPoolTasks(instance, i, pools->fraction[i]);
+        TSF_CHECK_GT(k, 0.0);
+        weighted.weight[i] = k / instance.h[i];
+      }
+    }
+    return weighted;
+  };
+
+  ManipulationOutcome outcome;
+
+  const FillingResult honest = solver(with_weights(problem));
+  outcome.truthful_tasks = honest.allocation.UserTasks(liar);
+
+  const CompiledProblem lied = ApplyLie(problem, liar, lie);
+  const FillingResult lying = solver(with_weights(lied));
+
+  // Convert the lying allocation into real completed tasks. The scheduler
+  // granted bundles sized by the *claimed* demand on the *claimed* machines;
+  // bundles on machines the liar truly cannot use are wasted, and each
+  // usable bundle runs min_r(claimed_r / true_r) real tasks.
+  double conversion = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < problem.num_resources; ++r) {
+    if (problem.demand[liar][r] > 0.0)
+      conversion = std::min(conversion,
+                            lied.demand[liar][r] / problem.demand[liar][r]);
+  }
+  for (MachineId m = 0; m < problem.num_machines; ++m) {
+    if (!problem.eligible[liar].Test(m)) continue;  // truly unusable
+    outcome.lying_tasks += lying.allocation.tasks(liar, m) * conversion;
+  }
+  return outcome;
+}
+
+bool MatchesSingleMachineDrf(const CompiledProblem& problem,
+                             const FillingResult& result, double tolerance) {
+  TSF_CHECK_EQ(problem.num_machines, 1u) << "reduction check needs one machine";
+  // DRF on one machine == progressive filling over dominant shares relative
+  // to that machine's capacity.
+  std::vector<double> denominator(problem.num_users);
+  for (UserId i = 0; i < problem.num_users; ++i) {
+    double dominant = 0.0;
+    for (std::size_t r = 0; r < problem.num_resources; ++r) {
+      const double capacity = problem.machine_capacity[0][r];
+      if (problem.demand[i][r] > 0.0 && capacity > 0.0)
+        dominant = std::max(dominant, problem.demand[i][r] / capacity);
+    }
+    TSF_CHECK_GT(dominant, 0.0);
+    denominator[i] = problem.weight[i] / dominant;
+  }
+  const FillingResult drf = ProgressiveFilling(problem, denominator);
+  for (UserId i = 0; i < problem.num_users; ++i) {
+    const double a = result.allocation.UserTasks(i);
+    const double b = drf.allocation.UserTasks(i);
+    if (std::abs(a - b) > tolerance * std::max(1.0, std::max(a, b))) return false;
+  }
+  return true;
+}
+
+bool MatchesSingleResourceCmmf(const CompiledProblem& problem,
+                               const FillingResult& result, double tolerance) {
+  TSF_CHECK_EQ(problem.num_resources, 1u) << "reduction check needs one resource";
+  std::vector<double> denominator(problem.num_users);
+  for (UserId i = 0; i < problem.num_users; ++i) {
+    TSF_CHECK_GT(problem.demand[i][0], 0.0);
+    denominator[i] = problem.weight[i] / problem.demand[i][0];
+  }
+  const FillingResult cmmf = ProgressiveFilling(problem, denominator);
+  for (UserId i = 0; i < problem.num_users; ++i) {
+    const double a = result.allocation.UserTasks(i);
+    const double b = cmmf.allocation.UserTasks(i);
+    if (std::abs(a - b) > tolerance * std::max(1.0, std::max(a, b))) return false;
+  }
+  return true;
+}
+
+}  // namespace tsf

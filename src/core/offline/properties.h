@@ -1,0 +1,142 @@
+// Checkers for the seven sharing properties of Sec. III.
+//
+// These operate on concrete (problem, allocation) pairs and therefore serve
+// three audiences: unit tests (pin the paper's worked counterexamples),
+// property-based tests (randomized instances must pass for TSF), and the
+// Table I bench harness (demonstrate each ✓/✗ cell).
+//
+// All checks use the divisible-task model the offline analysis assumes.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/allocation.h"
+#include "core/offline/progressive_filling.h"
+
+namespace tsf {
+
+// A policy under test: maps a compiled problem to an allocation.
+using OfflineSolver = std::function<FillingResult(const CompiledProblem&)>;
+
+// ---------------------------------------------------------------- envy ----
+
+struct EnvyViolation {
+  UserId envious = 0;  // user i
+  UserId envied = 0;   // user j
+  double own_tasks = 0.0;
+  double exchanged_tasks = 0.0;  // (w_i/w_j) * n_{i<->j}
+};
+
+// Def. 3: user i envies j if taking j's allocation (scaled by w_i/w_j) lets
+// i run more tasks than its own allocation does. Returns the worst
+// violation, or nullopt if envy-free.
+std::optional<EnvyViolation> FindEnvy(const CompiledProblem& problem,
+                                      const Allocation& allocation,
+                                      double tolerance = 1e-6);
+
+// -------------------------------------------------------------- Pareto ----
+
+struct ParetoViolation {
+  UserId user = 0;
+  double current_tasks = 0.0;
+  double achievable_tasks = 0.0;  // holding every other user's total
+};
+
+// Def. 4: the allocation is Pareto optimal iff no user's task total can be
+// raised while every other user keeps at least its current total
+// (placements may reshuffle — tasks are divisible). LP-based exact test.
+std::optional<ParetoViolation> FindParetoImprovement(
+    const CompiledProblem& problem, const Allocation& allocation,
+    double tolerance = 1e-6);
+
+// ---------------------------------------------------- sharing incentive ----
+
+// A dedicated resource pool: fraction[i][m] of machine m reserved for user
+// i; column sums must not exceed 1. Users only benefit from machines they
+// are eligible on (hard constraints apply inside the pool too).
+struct DedicatedPools {
+  std::vector<std::vector<double>> fraction;  // [user][machine]
+};
+
+// Equal partitioning: every user gets 1/N of every machine.
+DedicatedPools EqualPartition(std::size_t num_users, std::size_t num_machines);
+
+// k_i: tasks user i runs inside its dedicated pool (divisible).
+double DedicatedPoolTasks(const CompiledProblem& problem, UserId i,
+                          const std::vector<double>& fraction);
+
+struct SharingIncentiveReport {
+  bool satisfied = true;
+  std::vector<double> dedicated_tasks;  // k_i
+  std::vector<double> shared_tasks;     // n_i under the policy
+  UserId violator = 0;                  // valid iff !satisfied
+};
+
+// Def. 1 with arbitrary pools. `theorem1_weights` — the paper's Thm. 1 rule
+// w_i = k_i / h_i — replaces the problem's weights before solving when true
+// (TSF's guarantee is stated under that rule); with false the problem's own
+// weights are kept (the equal-weight, equal-partition convention used by
+// the CDRF/DRFH literature).
+SharingIncentiveReport CheckSharingIncentive(const CompiledProblem& problem,
+                                             const DedicatedPools& pools,
+                                             const OfflineSolver& solver,
+                                             bool theorem1_weights,
+                                             double tolerance = 1e-6);
+
+// ---------------------------------------------------- strategy-proofness ----
+
+// A lie: the demand vector and/or constraint eligibility a user reports.
+struct Lie {
+  std::optional<ResourceVector> demand;     // claimed normalized demand
+  std::optional<DynamicBitset> eligible;    // claimed eligibility
+};
+
+struct ManipulationOutcome {
+  double truthful_tasks = 0.0;  // real tasks when reporting honestly
+  double lying_tasks = 0.0;     // real tasks completed under the lie
+  bool profitable() const { return lying_tasks > truthful_tasks + 1e-6; }
+};
+
+// Runs the solver twice — honest problem vs. problem with user `liar`'s
+// report replaced by `lie` — and converts the lying allocation back into
+// *real* tasks: resources granted on machines the user truly cannot use are
+// wasted; on usable machines the granted bundle n'_im * d'_i runs
+// n'_im * min_{r:d_ir>0}(d'_ir / d_ir) real tasks.
+//
+// `theorem1_weights`: recompute w_i = k_i/h_i from `pools` for both runs
+// (Thm. 3 setting, where lying also games the weight); otherwise weights
+// are taken from the problem as-is (Thm. 2 setting).
+ManipulationOutcome ProbeManipulation(const CompiledProblem& problem,
+                                      UserId liar, const Lie& lie,
+                                      const OfflineSolver& solver,
+                                      bool theorem1_weights = false,
+                                      const DedicatedPools* pools = nullptr);
+
+// -------------------------------------------------- reduction properties ----
+
+// Def. 5: on a single-machine problem the policy must match DRF (dominant
+// shares equalized). Returns true when per-user task totals agree.
+bool MatchesSingleMachineDrf(const CompiledProblem& problem,
+                             const FillingResult& result,
+                             double tolerance = 1e-5);
+
+// Def. 6: on a single-resource problem the policy must match CMMF.
+bool MatchesSingleResourceCmmf(const CompiledProblem& problem,
+                               const FillingResult& result,
+                               double tolerance = 1e-5);
+
+// --------------------------------------------------------------- helpers ----
+
+// ρ_ji = min_{r : d_ir > 0} d_jr / d_ir (Lemma 1): tasks of i runnable per
+// task-bundle of j.
+double DemandExchangeRatio(const CompiledProblem& problem, UserId j, UserId i);
+
+// Replaces user `liar`'s reported demand/eligibility and recompiles the
+// derived quantities (h, g). Exposed for tests.
+CompiledProblem ApplyLie(const CompiledProblem& problem, UserId liar,
+                         const Lie& lie);
+
+}  // namespace tsf

@@ -1,0 +1,36 @@
+// Online sharing policies compared in the evaluation (Sec. VI-B): FIFO plus
+// five fair-sharing rules. Each policy reduces to a *progress key* per user;
+// the online scheduler serves pending users in ascending key order, which is
+// exactly the paper's "offer resources to the user furthest below its fair
+// share" loop.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace tsf {
+
+struct OnlinePolicy {
+  enum class Kind {
+    kFifo,  // arrival order; no fairness
+    kDrf,   // global dominant share (datacenter as one big machine)
+    kCdrf,  // constrained work slowdown n_i / (g_i w_i)
+    kCmmf,  // constrained max-min fairness on one resource (Choosy)
+    kTsf,   // task share n_i / (h_i w_i) — this paper
+  };
+
+  Kind kind = Kind::kTsf;
+  std::size_t resource = 0;  // which resource, for kCmmf
+  std::string name = "TSF";
+
+  static OnlinePolicy Fifo() { return {Kind::kFifo, 0, "FIFO"}; }
+  static OnlinePolicy Drf() { return {Kind::kDrf, 0, "DRF"}; }
+  static OnlinePolicy Cdrf() { return {Kind::kCdrf, 0, "CDRF"}; }
+  static OnlinePolicy Tsf() { return {Kind::kTsf, 0, "TSF"}; }
+  // The paper evaluates CMMF w.r.t. CPU ("CPU") and memory ("Mem").
+  static OnlinePolicy Cmmf(std::size_t resource, std::string name) {
+    return {Kind::kCmmf, resource, std::move(name)};
+  }
+};
+
+}  // namespace tsf

@@ -1,0 +1,117 @@
+// The online TSF algorithm of Sec. V-D, generalized over the progress key so
+// the same machinery runs every baseline in the evaluation.
+//
+// State: per-machine free capacity, per-user {demand, eligibility, weight,
+// h, g, pending, running}. Two entry points mirror the paper's event loop:
+//
+//  * PlaceUserGreedy — on job arrival: if the datacenter is not full, place
+//    the new tasks on machines satisfying demand and constraints. (At that
+//    instant no *other* queued user can place anywhere — the scheduler is
+//    work-conserving after every event — so greedy placement of the
+//    newcomer is policy-correct for all policies.)
+//  * ServeMachine — on task completion on machine m: offer m's freed
+//    resources to the users eligible on m, in ascending key order, until no
+//    pending task fits.
+//
+// Time never appears here; the discrete-event simulator owns the clock and
+// calls these hooks.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/online/policy.h"
+#include "core/resource.h"
+#include "util/bitset.h"
+
+namespace tsf {
+
+using UserId = std::size_t;
+using MachineId = std::size_t;
+
+struct OnlineUserSpec {
+  ResourceVector demand;   // normalized per-task demand
+  DynamicBitset eligible;  // over the scheduler's machines
+  double weight = 1.0;
+  double h = 0.0;  // unconstrained monopoly tasks (TSF denominator)
+  double g = 0.0;  // constrained monopoly tasks (CDRF denominator)
+  long pending = 0;
+};
+
+class OnlineScheduler {
+ public:
+  // `machine_capacity` is the normalized configuration vector per machine.
+  OnlineScheduler(std::vector<ResourceVector> machine_capacity,
+                  OnlinePolicy policy);
+
+  std::size_t num_machines() const { return free_.size(); }
+  std::size_t num_users() const { return users_.size(); }
+  const OnlinePolicy& policy() const { return policy_; }
+
+  // Registers a user; ids are dense and assigned in call order (which is
+  // what FIFO ranks by).
+  UserId AddUser(OnlineUserSpec spec);
+
+  // Adds more queued tasks for an existing user.
+  void AddPending(UserId user, long count);
+
+  // Frees one task's resources on m. Does not trigger scheduling — call
+  // ServeMachine afterwards.
+  void OnTaskFinish(UserId user, MachineId machine);
+
+  // Marks a user finished so serve loops skip it cheaply.
+  void Retire(UserId user);
+
+  // Greedy placement over every eligible machine for one user; invokes
+  // on_place(machine) per task placed (resources already debited).
+  void PlaceUserGreedy(UserId user,
+                       const std::function<void(MachineId)>& on_place);
+
+  // Key-ordered placement for a batch of users that became schedulable at
+  // the same instant (e.g. jobs arriving at the same timestamp): repeatedly
+  // serves the lowest-key batch member that still fits somewhere, so
+  // simultaneous arrivals interleave instead of the first one monopolizing
+  // the idle capacity. Only the listed users are considered — callers
+  // invoke this when no other pending user can place (the scheduler is
+  // work-conserving after every event).
+  void PlaceUsersInterleaved(const std::vector<UserId>& users,
+                             const std::function<void(UserId, MachineId)>& on_place);
+
+  // Ascending-key service of machine m's free capacity; invokes
+  // on_place(user, machine) per task placed.
+  void ServeMachine(MachineId machine,
+                    const std::function<void(UserId, MachineId)>& on_place);
+
+  long pending(UserId user) const { return users_[user].pending; }
+  long running(UserId user) const { return users_[user].running; }
+
+  // Current progress key (lower = served first).
+  double Key(UserId user) const;
+
+  const ResourceVector& FreeCapacity(MachineId machine) const {
+    return free_[machine];
+  }
+
+ private:
+  struct User {
+    ResourceVector demand;
+    DynamicBitset eligible;
+    double weight = 1.0;
+    double h = 0.0;
+    double g = 0.0;
+    long pending = 0;
+    long running = 0;
+    bool retired = false;
+  };
+
+  // True and debits resources if one task of `user` fits on `machine`.
+  bool TryPlace(UserId user, MachineId machine);
+
+  OnlinePolicy policy_;
+  std::vector<ResourceVector> free_;
+  std::vector<User> users_;
+  // Users eligible per machine (lazily compacted as users retire).
+  std::vector<std::vector<UserId>> machine_users_;
+};
+
+}  // namespace tsf

@@ -1,0 +1,57 @@
+#include "core/paper_examples.h"
+
+namespace tsf::paper {
+
+SharingProblem Fig2Truthful() {
+  SharingProblem problem;
+  problem.cluster.AddMachine(ResourceVector{18.0, 18.0}, {}, "m1");
+  problem.cluster.AddMachine(ResourceVector{18.0, 18.0}, {}, "m2");
+  JobSpec u1{.id = 0, .name = "u1", .demand = {1.0, 2.0}};
+  JobSpec u2{.id = 1, .name = "u2", .demand = {1.0, 3.0}};
+  u2.constraint = Constraint::Whitelist({1});
+  problem.jobs = {u1, u2};
+  return problem;
+}
+
+SharingProblem Fig2Lie() {
+  SharingProblem problem = Fig2Truthful();
+  problem.jobs[1].constraint = Constraint::None();  // claims m1 as well
+  return problem;
+}
+
+SharingProblem Fig3() {
+  SharingProblem problem;
+  for (int k = 0; k < 3; ++k)
+    problem.cluster.AddMachine(ResourceVector{3.0}, {}, "m" + std::to_string(k + 1));
+  auto user = [](UserId id, std::vector<MachineId> machines) {
+    JobSpec job{.id = id, .name = "u" + std::to_string(id + 1), .demand = {1.0}};
+    if (!machines.empty()) job.constraint = Constraint::Whitelist(std::move(machines));
+    return job;
+  };
+  problem.jobs = {
+      user(0, {0}),   // u1 -> m1
+      user(1, {}),    // u2 -> all machines
+      user(2, {1}),   // u3 -> m2
+      user(3, {1}),   // u4 -> m2
+      user(4, {2}),   // u5 -> m3
+      user(5, {2}),   // u6 -> m3
+      user(6, {2}),   // u7 -> m3
+  };
+  return problem;
+}
+
+SharingProblem Fig4() {
+  SharingProblem problem;
+  problem.cluster.AddMachine(ResourceVector{9.0, 12.0}, {}, "m1");
+  problem.cluster.AddMachine(ResourceVector{3.0, 4.0}, {}, "m2");
+  problem.cluster.AddMachine(ResourceVector{9.0, 12.0}, {}, "m3");
+  JobSpec u1{.id = 0, .name = "u1", .demand = {1.0, 2.0}};
+  u1.constraint = Constraint::Blacklist({2});
+  JobSpec u2{.id = 1, .name = "u2", .demand = {3.0, 1.0}};
+  u2.constraint = Constraint::Whitelist({1});
+  JobSpec u3{.id = 2, .name = "u3", .demand = {1.0, 4.0}};
+  problem.jobs = {u1, u2, u3};
+  return problem;
+}
+
+}  // namespace tsf::paper

@@ -1,0 +1,35 @@
+// The paper's worked examples as ready-made SharingProblems. Used as golden
+// fixtures by the test suite and regenerated verbatim by the bench
+// harnesses for Figs. 2–4.
+#pragma once
+
+#include "core/cluster.h"
+
+namespace tsf::paper {
+
+// Fig. 2a: two <18 CPU, 18 GB> machines; u1 demands <1,2> and runs anywhere,
+// u2 demands <1,3> and runs only on m2. Constrained CDRF gives (12, 4).
+SharingProblem Fig2Truthful();
+
+// Fig. 2b: same, but u2 falsely claims it can also run on m1. Constrained
+// CDRF then gives u2 six tasks — all still placed on m2 — proving CDRF is
+// not strategy-proof.
+SharingProblem Fig2Lie();
+
+// Fig. 3: three 3-CPU machines (single resource), 7 unit-demand users:
+// u1 -> {m1}; u2 -> all; u3,u4 -> {m2}; u5..u7 -> {m3}. Constrained CDRF
+// gives everyone 1 task and u2 three tasks (2 on m1), so u1 envies u2.
+SharingProblem Fig3();
+
+// Fig. 4 / Sec. V-A running example: machines <9,12>, <3,4>, <9,12>;
+// u1 <1,2> on {m1,m2}; u2 <3,1> on {m2}; u3 <1,4> anywhere. TSF gives task
+// shares (3/7, 1/7, 3/7) with 6, 1, and 3 tasks.
+SharingProblem Fig4();
+
+// Sec. IV-B3 worked example (same cluster as Fig. 2): expected constrained
+// monopoly counts g = (18, 6) and the CDRF allocation above.
+inline constexpr double kFig2CdrfTasksU1 = 12.0;
+inline constexpr double kFig2CdrfTasksU2 = 4.0;
+inline constexpr double kFig2LieCdrfTasksU2 = 6.0;
+
+}  // namespace tsf::paper

@@ -1,0 +1,40 @@
+#include "core/resource.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace tsf {
+
+double ResourceVector::DivisibleTaskCount(const ResourceVector& demand) const {
+  TSF_DCHECK(dimension() == demand.dimension());
+  double count = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < values_.size(); ++r) {
+    if (demand.values_[r] > 0.0)
+      count = std::min(count, values_[r] / demand.values_[r]);
+  }
+  return count;
+}
+
+long ResourceVector::IntegralTaskCount(const ResourceVector& demand,
+                                       double tolerance) const {
+  const double divisible = DivisibleTaskCount(demand);
+  if (std::isinf(divisible)) return std::numeric_limits<long>::max();
+  // Nudge up so that e.g. 5.999999999 (an exact 6 polluted by round-off)
+  // still counts as 6 tasks.
+  return static_cast<long>(std::floor(divisible + tolerance));
+}
+
+std::string ResourceVector::ToString(int precision) const {
+  std::string out = "<";
+  for (std::size_t r = 0; r < values_.size(); ++r) {
+    char buffer[48];
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, values_[r]);
+    out += buffer;
+    if (r + 1 < values_.size()) out += ", ";
+  }
+  out += ">";
+  return out;
+}
+
+}  // namespace tsf

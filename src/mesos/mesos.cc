@@ -1,0 +1,284 @@
+#include "mesos/mesos.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace tsf::mesos {
+namespace {
+
+struct Event {
+  double time = 0.0;
+  std::uint64_t seq = 0;
+  enum class Kind { kRegister, kTaskFinish, kSample } kind = Kind::kRegister;
+  std::size_t framework = 0;
+  std::size_t slave = 0;
+
+  bool operator>(const Event& other) const {
+    if (time != other.time) return time > other.time;
+    return seq > other.seq;
+  }
+};
+
+struct FrameworkState {
+  FrameworkSpec spec;
+  bool registered = false;
+  long launched = 0;   // tasks started so far
+  long running = 0;
+  long finished = 0;
+  double h = 0.0;
+  std::vector<bool> allowed;  // per slave
+  FrameworkStats stats;
+
+  bool Active() const {
+    return registered && finished < spec.num_tasks;
+  }
+  bool HasPending() const { return launched < spec.num_tasks; }
+};
+
+}  // namespace
+
+std::vector<SlaveSpec> PaperFleet() {
+  std::vector<SlaveSpec> slaves;
+  slaves.reserve(50);
+  for (int n = 0; n < 50; ++n) {
+    SlaveSpec slave;
+    slave.capacity =
+        n < 25 ? ResourceVector{1.0, 1024.0} : ResourceVector{2.0, 1024.0};
+    slave.name = "node" + std::to_string(n + 1);
+    slaves.push_back(std::move(slave));
+  }
+  return slaves;
+}
+
+std::vector<FrameworkSpec> TableTwoJobs() {
+  auto nodes = [](int lo, int hi) {  // paper's 1-based inclusive ranges
+    std::vector<std::size_t> ids;
+    for (int n = lo; n <= hi; ++n) ids.push_back(static_cast<std::size_t>(n - 1));
+    return ids;
+  };
+  std::vector<FrameworkSpec> jobs(4);
+  jobs[0] = {.name = "job1", .start_time = 0.0, .num_tasks = 1000,
+             .demand = ResourceVector{1.0, 512.0}, .mean_runtime = 23.2,
+             .runtime_jitter = 0.2, .whitelist = {}, .weight = 1.0};
+  jobs[1] = {.name = "job2", .start_time = 10.0, .num_tasks = 150,
+             .demand = ResourceVector{0.5, 512.0}, .mean_runtime = 18.3,
+             .runtime_jitter = 0.2, .whitelist = nodes(1, 25), .weight = 1.0};
+  jobs[2] = {.name = "job3", .start_time = 150.0, .num_tasks = 100,
+             .demand = ResourceVector{0.5, 512.0}, .mean_runtime = 21.3,
+             .runtime_jitter = 0.2, .whitelist = nodes(1, 10), .weight = 1.0};
+  jobs[3] = {.name = "job4", .start_time = 150.0, .num_tasks = 100,
+             .demand = ResourceVector{1.0, 512.0}, .mean_runtime = 55.6,
+             .runtime_jitter = 0.2, .whitelist = nodes(1, 10), .weight = 1.0};
+  // jobs 3 and 4 also whitelist nodes 26-35 (Table II).
+  for (int n = 26; n <= 35; ++n) {
+    jobs[2].whitelist.push_back(static_cast<std::size_t>(n - 1));
+    jobs[3].whitelist.push_back(static_cast<std::size_t>(n - 1));
+  }
+  return jobs;
+}
+
+SimOutcome RunCluster(const ClusterConfig& config,
+                      const std::vector<FrameworkSpec>& framework_specs) {
+  TSF_CHECK(!config.slaves.empty());
+  TSF_CHECK(!framework_specs.empty());
+  const std::size_t num_slaves = config.slaves.size();
+  const std::size_t num_frameworks = framework_specs.size();
+  const std::size_t resources = config.slaves[0].capacity.dimension();
+
+  ResourceVector total(resources);
+  for (const SlaveSpec& slave : config.slaves) {
+    TSF_CHECK_EQ(slave.capacity.dimension(), resources);
+    total += slave.capacity;
+  }
+
+  std::vector<ResourceVector> free;
+  free.reserve(num_slaves);
+  for (const SlaveSpec& slave : config.slaves) free.push_back(slave.capacity);
+
+  Rng rng(config.seed);
+  std::vector<FrameworkState> frameworks(num_frameworks);
+  for (std::size_t f = 0; f < num_frameworks; ++f) {
+    FrameworkState& fw = frameworks[f];
+    fw.spec = framework_specs[f];
+    TSF_CHECK_GT(fw.spec.num_tasks, 0);
+    TSF_CHECK_EQ(fw.spec.demand.dimension(), resources);
+    fw.allowed.assign(num_slaves, fw.spec.whitelist.empty());
+    for (const std::size_t s : fw.spec.whitelist) {
+      TSF_CHECK_LT(s, num_slaves);
+      fw.allowed[s] = true;
+    }
+    bool fits_somewhere = false;
+    for (std::size_t s = 0; s < num_slaves; ++s) {
+      fw.h += config.slaves[s].capacity.DivisibleTaskCount(fw.spec.demand);
+      fits_somewhere |=
+          fw.allowed[s] && config.slaves[s].capacity.Fits(fw.spec.demand);
+    }
+    TSF_CHECK(fits_somewhere) << fw.spec.name << ": no slave fits a task";
+    fw.stats.name = fw.spec.name;
+    fw.stats.start_time = fw.spec.start_time;
+    fw.stats.first_task_time = std::numeric_limits<double>::infinity();
+    fw.stats.h = fw.h;
+  }
+
+  // Allocator share key (lower = offered first).
+  auto share_key = [&](const FrameworkState& fw) {
+    const auto n = static_cast<double>(fw.running);
+    switch (config.policy) {
+      case AllocatorPolicy::kTsf:
+        return n / (fw.h * fw.spec.weight);
+      case AllocatorPolicy::kDrf: {
+        double dominant = 0.0;
+        for (std::size_t r = 0; r < resources; ++r)
+          if (total[r] > 0.0)
+            dominant = std::max(dominant, fw.spec.demand[r] / total[r]);
+        return n * dominant / fw.spec.weight;
+      }
+    }
+    TSF_CHECK(false) << "unreachable";
+  };
+
+  // How many frameworks may ever use each slave. The allocator steers a
+  // framework toward its least-contended fitting slave, so flexible jobs
+  // drain onto nodes nobody else can use before touching the nodes that
+  // constrained jobs depend on (cf. Choosy's placement guidance). Without
+  // this, index-order first-fit lets unconstrained jobs squat on scarce
+  // whitelisted nodes and the tight packings behind Thm. 1 are missed.
+  std::vector<std::size_t> contention(num_slaves, 0);
+  for (const FrameworkState& fw : frameworks)
+    for (std::size_t s = 0; s < num_slaves; ++s)
+      if (fw.allowed[s]) ++contention[s];
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+  std::uint64_t seq = 0;
+  for (std::size_t f = 0; f < num_frameworks; ++f)
+    events.push(Event{frameworks[f].spec.start_time, seq++,
+                      Event::Kind::kRegister, f, 0});
+
+  SimOutcome outcome;
+  outcome.frameworks.resize(num_frameworks);
+
+  auto sample_timeline = [&](double now) {
+    SharePoint point;
+    point.time = now;
+    point.cpu_share.resize(num_frameworks);
+    point.mem_share.resize(num_frameworks);
+    point.task_share.resize(num_frameworks);
+    for (std::size_t f = 0; f < num_frameworks; ++f) {
+      const FrameworkState& fw = frameworks[f];
+      const auto n = static_cast<double>(fw.running);
+      point.cpu_share[f] = total[0] > 0 ? n * fw.spec.demand[0] / total[0] : 0;
+      point.mem_share[f] =
+          resources > 1 && total[1] > 0 ? n * fw.spec.demand[1] / total[1] : 0;
+      point.task_share[f] = n / (fw.h * fw.spec.weight);
+    }
+    outcome.timeline.push_back(std::move(point));
+  };
+
+  // The master's allocation cycle, mirroring the mesos-master + paper's
+  // online algorithm: repeatedly offer free resources to the framework with
+  // the lowest share that can actually launch a task, launch *one* task,
+  // and re-rank (the Mesos sorter re-sorts after every allocation). Stops
+  // when no pending framework fits anywhere it is whitelisted.
+  auto run_allocation = [&](double now) {
+    for (;;) {
+      std::size_t best = num_frameworks;
+      std::size_t best_slave = 0;
+      double best_key = std::numeric_limits<double>::infinity();
+      for (std::size_t f = 0; f < num_frameworks; ++f) {
+        FrameworkState& fw = frameworks[f];
+        if (!fw.Active() || !fw.HasPending()) continue;
+        const double key = share_key(fw);
+        if (key >= best_key) continue;
+        // Least-contended fitting slave for this framework.
+        std::size_t slave = num_slaves;
+        for (std::size_t s = 0; s < num_slaves; ++s) {
+          if (!fw.allowed[s] || !free[s].Fits(fw.spec.demand)) continue;
+          if (slave == num_slaves || contention[s] < contention[slave]) slave = s;
+        }
+        if (slave < num_slaves) {
+          best = f;
+          best_slave = slave;
+          best_key = key;
+        }
+      }
+      if (best == num_frameworks) return;
+
+      // Launch exactly one task, then re-rank — the sorter re-sorts after
+      // every allocation, which is what keeps simultaneously-registered
+      // equal-share frameworks interleaved instead of letting the first one
+      // absorb a whole node.
+      FrameworkState& fw = frameworks[best];
+      free[best_slave] -= fw.spec.demand;
+      ++fw.launched;
+      ++fw.running;
+      fw.stats.first_task_time = std::min(fw.stats.first_task_time, now);
+      const double runtime = fw.spec.mean_runtime *
+                             rng.Uniform(1.0 - fw.spec.runtime_jitter,
+                                         1.0 + fw.spec.runtime_jitter);
+      events.push(Event{now + runtime, seq++, Event::Kind::kTaskFinish, best,
+                        best_slave});
+    }
+  };
+
+  if (config.sample_interval > 0.0)
+    events.push(Event{0.0, seq++, Event::Kind::kSample, 0, 0});
+
+  // Events sharing a timestamp are applied as a batch before the allocator
+  // runs, mirroring the mesos-master's batched allocation cycle. Without
+  // this, four jobs submitted "at the same time" would be allocated one by
+  // one, and the first registrant would monopolize the cluster for a whole
+  // task wave (tasks are never preempted).
+  while (!events.empty()) {
+    const double now = events.top().time;
+    bool state_changed = false;
+    bool sampled = false;
+    while (!events.empty() && events.top().time == now) {
+      const Event event = events.top();
+      events.pop();
+      switch (event.kind) {
+        case Event::Kind::kRegister:
+          frameworks[event.framework].registered = true;
+          state_changed = true;
+          break;
+        case Event::Kind::kTaskFinish: {
+          FrameworkState& fw = frameworks[event.framework];
+          free[event.slave] += fw.spec.demand;
+          --fw.running;
+          ++fw.finished;
+          ++fw.stats.tasks_run;
+          outcome.makespan = std::max(outcome.makespan, now);
+          if (fw.finished == fw.spec.num_tasks) fw.stats.completion_time = now;
+          state_changed = true;
+          break;
+        }
+        case Event::Kind::kSample:
+          sampled = true;
+          break;
+      }
+    }
+    if (state_changed) run_allocation(now);
+    if (sampled) {
+      sample_timeline(now);
+      bool work_remaining = false;
+      for (const FrameworkState& fw : frameworks)
+        if (!fw.registered || fw.finished < fw.spec.num_tasks)
+          work_remaining = true;
+      if (work_remaining)
+        events.push(Event{now + config.sample_interval, seq++,
+                          Event::Kind::kSample, 0, 0});
+    }
+  }
+
+  for (std::size_t f = 0; f < num_frameworks; ++f) {
+    TSF_CHECK_EQ(frameworks[f].finished, frameworks[f].spec.num_tasks)
+        << frameworks[f].spec.name << " did not finish";
+    outcome.frameworks[f] = frameworks[f].stats;
+  }
+  return outcome;
+}
+
+}  // namespace tsf::mesos

@@ -1,0 +1,102 @@
+// In-process Mesos-like cluster manager (the Sec. VI-A prototype
+// substitute).
+//
+// Apache Mesos mediates sharing through *resource offers*: each node runs a
+// slave that reports its free resources to the master; the master's
+// allocator picks the framework (job) that is furthest below its fair share
+// and offers it a node's free resources; the framework launches as many
+// tasks as fit and implicitly declines the rest, which the master then
+// offers to the next framework. The paper plugs TSF into this loop by
+// sorting frameworks by task share and adds a whitelist/blacklist interface
+// for placement constraints.
+//
+// This module reproduces that control flow against a virtual clock: slaves,
+// frameworks, the offer cycle, the pluggable allocator order (TSF or DRF),
+// node whitelists, and a share-timeline sampler — everything Figs. 5–7 and
+// Table II measure. What it deliberately omits is the distributed-systems
+// plumbing (RPC, failover, executors), which the paper's experiments do not
+// exercise.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/resource.h"
+
+namespace tsf::mesos {
+
+struct SlaveSpec {
+  ResourceVector capacity;  // raw units, e.g. <1 core, 1024 MB>
+  std::string name;
+};
+
+struct FrameworkSpec {
+  std::string name;
+  double start_time = 0.0;
+  long num_tasks = 0;
+  ResourceVector demand;       // per-task, raw units
+  double mean_runtime = 10.0;  // seconds
+  double runtime_jitter = 0.2; // +/- fraction around the mean (Sec. VI-A1)
+  // Nodes this framework's tasks may run on (slave indices); empty = all.
+  std::vector<std::size_t> whitelist;
+  double weight = 1.0;
+};
+
+enum class AllocatorPolicy {
+  kTsf,  // ascending task share n_i / (h_i w_i) — the paper's plugin
+  kDrf,  // ascending global dominant share — stock Mesos allocator
+};
+
+struct ClusterConfig {
+  std::vector<SlaveSpec> slaves;
+  AllocatorPolicy policy = AllocatorPolicy::kTsf;
+  std::uint64_t seed = 1;
+  // Timeline sampling period for the share curves of Fig. 5 (seconds);
+  // 0 disables sampling.
+  double sample_interval = 1.0;
+};
+
+// One sample of every framework's resource/task shares (Fig. 5's y-axes).
+struct SharePoint {
+  double time = 0.0;
+  std::vector<double> cpu_share;   // fraction of cluster CPU in use
+  std::vector<double> mem_share;   // fraction of cluster memory in use
+  std::vector<double> task_share;  // n_i(t) / (h_i w_i)
+};
+
+struct FrameworkStats {
+  std::string name;
+  double start_time = 0.0;
+  double first_task_time = 0.0;
+  double completion_time = 0.0;  // last task finished
+  long tasks_run = 0;
+  double h = 0.0;  // unconstrained monopoly task count (Table II's h_i)
+
+  double CompletionDuration() const { return completion_time - start_time; }
+};
+
+struct SimOutcome {
+  std::vector<SharePoint> timeline;
+  std::vector<FrameworkStats> frameworks;
+  double makespan = 0.0;
+};
+
+// Runs the offer-based cluster to completion. Frameworks register at their
+// start times; the allocator re-runs after every registration and task
+// completion.
+SimOutcome RunCluster(const ClusterConfig& config,
+                      const std::vector<FrameworkSpec>& frameworks);
+
+// --- Table II helpers -----------------------------------------------------
+
+// The paper's 50-node EC2 fleet: slaves 0-24 manage <1 CPU, 1 GB>, slaves
+// 25-49 manage <2 CPUs, 1 GB>.
+std::vector<SlaveSpec> PaperFleet();
+
+// The four Table II jobs (start times, task counts, demands, runtimes,
+// whitelists). Node numbering follows the paper (1-based in prose, 0-based
+// here).
+std::vector<FrameworkSpec> TableTwoJobs();
+
+}  // namespace tsf::mesos

@@ -1,0 +1,213 @@
+#include "sim/des.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "core/online/scheduler.h"
+#include "util/check.h"
+
+namespace tsf {
+
+std::vector<double> SimResult::JobQueueingDelays() const {
+  std::vector<double> delays;
+  delays.reserve(jobs.size());
+  for (const JobRecord& job : jobs) delays.push_back(job.QueueingDelay());
+  return delays;
+}
+
+std::vector<double> SimResult::JobCompletionTimes() const {
+  std::vector<double> times;
+  times.reserve(jobs.size());
+  for (const JobRecord& job : jobs) times.push_back(job.CompletionTime());
+  return times;
+}
+
+std::vector<double> SimResult::TaskQueueingDelays() const {
+  std::vector<double> delays;
+  delays.reserve(tasks.size());
+  for (const TaskRecord& task : tasks) delays.push_back(task.QueueingDelay());
+  return delays;
+}
+
+namespace {
+
+struct Event {
+  double time = 0.0;
+  std::uint64_t seq = 0;  // FIFO tie-break for simultaneous events
+  enum class Kind { kJobArrival, kTaskFinish } kind = Kind::kJobArrival;
+  std::size_t job = 0;
+  MachineId machine = 0;
+  std::size_t task_slot = 0;  // index into result.tasks, for kTaskFinish
+
+  bool operator>(const Event& other) const {
+    if (time != other.time) return time > other.time;
+    return seq > other.seq;
+  }
+};
+
+}  // namespace
+
+SimResult Simulate(const Workload& workload, const OnlinePolicy& policy) {
+  const Cluster& cluster = workload.cluster;
+  TSF_CHECK_GT(cluster.num_machines(), 0u);
+  for (std::size_t j = 1; j < workload.jobs.size(); ++j)
+    TSF_CHECK_LE(workload.jobs[j - 1].spec.arrival_time,
+                 workload.jobs[j].spec.arrival_time)
+        << "jobs must be sorted by arrival";
+
+  SimResult result;
+  result.policy = policy.name;
+  result.jobs.resize(workload.jobs.size());
+  std::size_t total_tasks = 0;
+  for (const SimJob& job : workload.jobs) {
+    TSF_CHECK_EQ(static_cast<std::size_t>(job.spec.num_tasks),
+                 job.task_runtimes.size());
+    total_tasks += job.task_runtimes.size();
+  }
+  result.tasks.reserve(total_tasks);
+
+  std::vector<ResourceVector> capacity;
+  capacity.reserve(cluster.num_machines());
+  for (MachineId m = 0; m < cluster.num_machines(); ++m)
+    capacity.push_back(cluster.NormalizedCapacity(m));
+  OnlineScheduler scheduler(std::move(capacity), policy);
+
+  // Per-job simulation state.
+  struct JobState {
+    UserId user = 0;          // scheduler id, assigned at arrival
+    long next_task = 0;       // next runtime index to schedule
+    long finished = 0;
+    bool arrived = false;
+  };
+  std::vector<JobState> state(workload.jobs.size());
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+  std::uint64_t seq = 0;
+  for (std::size_t j = 0; j < workload.jobs.size(); ++j) {
+    events.push(Event{workload.jobs[j].spec.arrival_time, seq++,
+                      Event::Kind::kJobArrival, j, 0, 0});
+    result.jobs[j].arrival = workload.jobs[j].spec.arrival_time;
+    result.jobs[j].num_tasks = workload.jobs[j].spec.num_tasks;
+  }
+
+  // Places one task of job j on machine m at `now`: records metrics and
+  // enqueues its completion. The scheduler has already debited resources.
+  auto record_placement = [&](std::size_t j, MachineId m, double now) {
+    JobState& js = state[j];
+    const SimJob& job = workload.jobs[j];
+    TSF_CHECK_LT(static_cast<std::size_t>(js.next_task),
+                 job.task_runtimes.size());
+    const long index = js.next_task++;
+    TaskRecord task;
+    task.job = j;
+    task.index = index;
+    task.submit = job.spec.arrival_time;
+    task.schedule = now;
+    task.finish = now + job.task_runtimes[static_cast<std::size_t>(index)];
+    const std::size_t slot = result.tasks.size();
+    result.tasks.push_back(task);
+    result.jobs[j].first_schedule = std::min(result.jobs[j].first_schedule, now);
+    events.push(
+        Event{task.finish, seq++, Event::Kind::kTaskFinish, j, m, slot});
+  };
+
+  // Scheduler user id → job index (users are added in arrival order).
+  std::vector<std::size_t> user_to_job;
+  user_to_job.reserve(workload.jobs.size());
+
+  // Events sharing a timestamp are applied as a batch before any
+  // scheduling: otherwise jobs submitted "at the same time" would be
+  // allocated one after another and the first would monopolize the idle
+  // cluster for a whole (non-preemptible) task wave.
+  std::vector<MachineId> freed_machines;
+  std::vector<UserId> arrived_users;
+  while (!events.empty()) {
+    const double now = events.top().time;
+    freed_machines.clear();
+    arrived_users.clear();
+
+    while (!events.empty() && events.top().time == now) {
+      const Event event = events.top();
+      events.pop();
+
+      if (event.kind == Event::Kind::kJobArrival) {
+        const SimJob& job = workload.jobs[event.job];
+        OnlineUserSpec spec;
+        spec.demand = cluster.NormalizedDemand(job.spec.demand);
+        spec.eligible = cluster.Eligibility(job.spec.constraint);
+        TSF_CHECK(spec.eligible.Any())
+            << "job " << job.spec.name << " has no eligible machine";
+        spec.weight = job.spec.weight;
+        bool fits_somewhere = false;
+        spec.eligible.ForEachSet([&](std::size_t m) {
+          fits_somewhere = fits_somewhere ||
+                           cluster.machine(m).capacity.Fits(job.spec.demand);
+        });
+        TSF_CHECK(fits_somewhere)
+            << "job " << job.spec.name
+            << ": no eligible machine can hold one task — it would never finish";
+        spec.h = 0.0;
+        spec.g = 0.0;
+        for (MachineId m = 0; m < cluster.num_machines(); ++m) {
+          const double tasks =
+              cluster.NormalizedCapacity(m).DivisibleTaskCount(spec.demand);
+          spec.h += tasks;
+          if (spec.eligible.Test(m)) spec.g += tasks;
+        }
+        spec.pending = job.spec.num_tasks;
+        JobState& js = state[event.job];
+        js.user = scheduler.AddUser(std::move(spec));
+        js.arrived = true;
+        user_to_job.push_back(event.job);
+        TSF_CHECK_EQ(user_to_job.size(), js.user + 1);
+        arrived_users.push_back(js.user);
+        continue;
+      }
+
+      // Task completion: free resources now, schedule after the batch.
+      const std::size_t j = event.job;
+      JobState& js = state[j];
+      scheduler.OnTaskFinish(js.user, event.machine);
+      ++js.finished;
+      result.makespan = std::max(result.makespan, now);
+      if (js.finished == workload.jobs[j].spec.num_tasks) {
+        result.jobs[j].completion = now;
+        scheduler.Retire(js.user);
+      }
+      freed_machines.push_back(event.machine);
+    }
+
+    // Scheduling phase. Freed machines are re-offered to everyone eligible
+    // (arrivals included — they are registered by now); remaining idle
+    // capacity is then handed to the arrival batch in key order. Other
+    // pending users need no consideration: they could not place before
+    // this instant and no other machine gained capacity.
+    std::sort(freed_machines.begin(), freed_machines.end());
+    freed_machines.erase(
+        std::unique(freed_machines.begin(), freed_machines.end()),
+        freed_machines.end());
+    for (const MachineId m : freed_machines)
+      scheduler.ServeMachine(m, [&](UserId user, MachineId machine) {
+        record_placement(user_to_job[user], machine, now);
+      });
+    if (!arrived_users.empty())
+      scheduler.PlaceUsersInterleaved(
+          arrived_users, [&](UserId user, MachineId machine) {
+            record_placement(user_to_job[user], machine, now);
+          });
+  }
+
+  TSF_CHECK_EQ(result.tasks.size(), total_tasks);
+  for (std::size_t j = 0; j < workload.jobs.size(); ++j)
+    TSF_CHECK_EQ(state[j].finished, workload.jobs[j].spec.num_tasks)
+        << "job " << j << " did not finish";
+  // Keep tasks ordered by (job, index) so identical workloads align across
+  // policies.
+  std::sort(result.tasks.begin(), result.tasks.end(),
+            [](const TaskRecord& a, const TaskRecord& b) {
+              return a.job != b.job ? a.job < b.job : a.index < b.index;
+            });
+  return result;
+}
+
+}  // namespace tsf

@@ -1,0 +1,60 @@
+// Trace-driven discrete-event cluster simulator (the macro-benchmark
+// substrate of Sec. VI-B).
+//
+// Two event kinds drive the run — job arrival and task completion — with the
+// online scheduler invoked after each, exactly as Sec. V-D prescribes:
+// arrivals greedily take whatever idle resources fit; every completion
+// re-offers the freed machine to eligible users in ascending share order.
+// Tasks are never preempted.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/online/policy.h"
+#include "sim/workload.h"
+
+namespace tsf {
+
+struct JobRecord {
+  double arrival = 0.0;
+  double first_schedule = std::numeric_limits<double>::infinity();
+  double completion = 0.0;
+  long num_tasks = 0;
+
+  // Job queueing delay: arrival to first task scheduled (Fig. 9a).
+  double QueueingDelay() const { return first_schedule - arrival; }
+  // Job completion time: arrival to last task finished (Fig. 9b).
+  double CompletionTime() const { return completion - arrival; }
+};
+
+struct TaskRecord {
+  std::size_t job = 0;
+  long index = 0;        // task index within the job
+  double submit = 0.0;   // == job arrival (all tasks submitted with the job)
+  double schedule = 0.0;
+  double finish = 0.0;
+
+  // Task queueing delay: submission to scheduling (Fig. 11a).
+  double QueueingDelay() const { return schedule - submit; }
+};
+
+struct SimResult {
+  std::string policy;
+  std::vector<JobRecord> jobs;
+  std::vector<TaskRecord> tasks;  // ordered by (job, task index)
+  double makespan = 0.0;
+
+  std::vector<double> JobQueueingDelays() const;
+  std::vector<double> JobCompletionTimes() const;
+  std::vector<double> TaskQueueingDelays() const;
+};
+
+// Runs `workload` to completion under `policy`. Jobs must be sorted by
+// arrival time. The result's tasks vector is indexed consistently across
+// policies (same workload → same task identity), enabling per-task speedup
+// comparisons.
+SimResult Simulate(const Workload& workload, const OnlinePolicy& policy);
+
+}  // namespace tsf

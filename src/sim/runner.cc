@@ -1,0 +1,29 @@
+#include "sim/runner.h"
+
+#include <mutex>
+
+#include "util/check.h"
+
+namespace tsf {
+
+void RunSeeds(const WorkloadFactory& factory,
+              const std::vector<OnlinePolicy>& policies,
+              std::uint64_t first_seed, std::size_t num_seeds,
+              ThreadPool& pool, const SeedReducer& reduce) {
+  TSF_CHECK(!policies.empty());
+  TSF_CHECK_GT(num_seeds, 0u);
+  std::mutex reduce_mutex;
+
+  pool.ParallelFor(num_seeds, [&](std::size_t k) {
+    const std::uint64_t seed = first_seed + k;
+    const Workload workload = factory(seed);
+    std::vector<SimResult> results;
+    results.reserve(policies.size());
+    for (const OnlinePolicy& policy : policies)
+      results.push_back(Simulate(workload, policy));
+    const std::lock_guard lock(reduce_mutex);
+    reduce(seed, results);
+  });
+}
+
+}  // namespace tsf

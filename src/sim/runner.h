@@ -1,0 +1,34 @@
+// Multi-seed experiment runner.
+//
+// The paper averages every macro-benchmark over 50 simulations; this runner
+// fans seeds out over a thread pool, runs every policy on the *same*
+// workload instance per seed (required for per-task/per-job speedup
+// comparisons), and hands each seed's batch of results to a reducer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/des.h"
+#include "util/thread_pool.h"
+
+namespace tsf {
+
+using WorkloadFactory = std::function<Workload(std::uint64_t seed)>;
+
+// Reducer invoked once per seed with the results of every policy, in the
+// order of `policies`. Invocations are serialized (no locking needed inside)
+// but may arrive in any seed order.
+using SeedReducer =
+    std::function<void(std::uint64_t seed, const std::vector<SimResult>&)>;
+
+// Runs `factory(seed)` for seed in [first_seed, first_seed + num_seeds),
+// simulates every policy on it, and reduces. Workloads and results are
+// discarded after reduction to bound memory.
+void RunSeeds(const WorkloadFactory& factory,
+              const std::vector<OnlinePolicy>& policies,
+              std::uint64_t first_seed, std::size_t num_seeds,
+              ThreadPool& pool, const SeedReducer& reduce);
+
+}  // namespace tsf

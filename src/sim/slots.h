@@ -1,0 +1,48 @@
+// Slot-based scheduling (the paper's motivating contrast, Sec. I / VII).
+//
+// Pre-DRF cluster schedulers — the Hadoop Fair Scheduler, the Capacity
+// Scheduler, and Choosy on top of them — allocate *slots*: fixed resource
+// bundles carved out of each machine. A task occupies whole slots, so
+//
+//   * fragmentation: a task smaller than its slots strands the difference
+//     ("resources in these allocated slots, even when idle, are not
+//     available to the other tasks");
+//   * coarse counting: a task bigger than one slot must hold several.
+//
+// SimulateSlotScheduler runs the same trace-driven workload as Simulate()
+// under such a scheduler: machine m holds floor(min_r C_mr / slot_r) slots,
+// a task of job i needs max_r ceil(d_ir / slot_r) of them, and fairness is
+// constrained max-min over slot counts (Choosy's CMMF). Comparing its
+// utilization and delays against the multi-resource policies regenerates
+// the fragmentation argument that motivates DRF-family scheduling.
+#pragma once
+
+#include "sim/des.h"
+
+namespace tsf {
+
+struct SlotSchedulerConfig {
+  // Resource bundle that defines one slot (raw units, e.g. <1 core, 2 GB>).
+  ResourceVector slot_size;
+};
+
+struct SlotSimResult {
+  SimResult sim;
+
+  // Accounting of the fragmentation the slot abstraction causes.
+  double total_slots = 0;           // cluster-wide slot count
+  double mean_busy_slots = 0;       // time-averaged slots held
+  double mean_used_fraction = 0;    // time-averaged genuinely-used share of
+                                    // held slot resources (1 = no waste)
+
+  // Jobs that could not run at all: no eligible machine holds enough whole
+  // slots for one task (a further failure mode of coarse slotting — such
+  // jobs ran fine under the multi-resource scheduler). Their JobRecords are
+  // left at zero duration and they contribute no tasks.
+  std::vector<std::size_t> dropped_jobs;
+};
+
+SlotSimResult SimulateSlotScheduler(const Workload& workload,
+                                    const SlotSchedulerConfig& config);
+
+}  // namespace tsf

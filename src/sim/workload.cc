@@ -1,0 +1,35 @@
+#include "sim/workload.h"
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace tsf {
+
+SimJob MakeUniformJob(JobSpec spec, double task_runtime) {
+  TSF_CHECK_GT(spec.num_tasks, 0);
+  TSF_CHECK_GT(task_runtime, 0.0);
+  SimJob job;
+  job.task_runtimes.assign(static_cast<std::size_t>(spec.num_tasks),
+                           task_runtime);
+  spec.mean_task_runtime = task_runtime;
+  job.spec = std::move(spec);
+  return job;
+}
+
+SimJob MakeJitteredJob(JobSpec spec, double mean_runtime, double jitter,
+                       std::uint64_t seed) {
+  TSF_CHECK_GT(spec.num_tasks, 0);
+  TSF_CHECK_GT(mean_runtime, 0.0);
+  TSF_CHECK(jitter >= 0.0 && jitter < 1.0);
+  Rng rng(seed);
+  SimJob job;
+  job.task_runtimes.reserve(static_cast<std::size_t>(spec.num_tasks));
+  for (long t = 0; t < spec.num_tasks; ++t)
+    job.task_runtimes.push_back(mean_runtime *
+                                rng.Uniform(1.0 - jitter, 1.0 + jitter));
+  spec.mean_task_runtime = mean_runtime;
+  job.spec = std::move(spec);
+  return job;
+}
+
+}  // namespace tsf

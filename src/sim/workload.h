@@ -1,0 +1,40 @@
+// Simulation workloads: a cluster plus a stream of jobs with per-task
+// runtimes.
+//
+// Runtimes are pre-sampled per task (not drawn at schedule time) so that the
+// *same* task has the same duration under every policy — the paper's
+// per-task and per-job speedup metrics (Figs. 10, 11) compare one workload
+// across schedulers and are meaningless otherwise.
+#pragma once
+
+#include <vector>
+
+#include "core/cluster.h"
+
+namespace tsf {
+
+struct SimJob {
+  JobSpec spec;                       // demand, weight, constraint, arrival
+  std::vector<double> task_runtimes;  // spec.num_tasks entries, seconds
+};
+
+struct Workload {
+  Cluster cluster;
+  std::vector<SimJob> jobs;  // sorted by spec.arrival_time
+
+  std::size_t TotalTasks() const {
+    std::size_t total = 0;
+    for (const SimJob& job : jobs) total += job.task_runtimes.size();
+    return total;
+  }
+};
+
+// Convenience for tests and micro-benchmarks: constant runtime per task.
+SimJob MakeUniformJob(JobSpec spec, double task_runtime);
+
+// Jittered runtimes: mean * Uniform(1 - jitter, 1 + jitter), the paper's
+// "+/- 20% around the mean" model (Sec. VI-A1). Deterministic in `seed`.
+SimJob MakeJitteredJob(JobSpec spec, double mean_runtime, double jitter,
+                       std::uint64_t seed);
+
+}  // namespace tsf

@@ -1,0 +1,93 @@
+#include "stats/cdf.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace tsf {
+
+void EmpiricalCdf::Add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void EmpiricalCdf::AddAll(const std::vector<double>& xs) {
+  samples_.insert(samples_.end(), xs.begin(), xs.end());
+  sorted_ = false;
+}
+
+void EmpiricalCdf::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double EmpiricalCdf::Quantile(double q) const {
+  TSF_CHECK(!samples_.empty());
+  TSF_CHECK(q >= 0.0 && q <= 1.0) << "q=" << q;
+  EnsureSorted();
+  const auto n = samples_.size();
+  const auto rank = static_cast<std::size_t>(q * static_cast<double>(n - 1) + 0.5);
+  return samples_[std::min(rank, n - 1)];
+}
+
+double EmpiricalCdf::FractionBelow(double x) const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double EmpiricalCdf::Min() const {
+  TSF_CHECK(!samples_.empty());
+  EnsureSorted();
+  return samples_.front();
+}
+
+double EmpiricalCdf::Max() const {
+  TSF_CHECK(!samples_.empty());
+  EnsureSorted();
+  return samples_.back();
+}
+
+double EmpiricalCdf::Mean() const {
+  TSF_CHECK(!samples_.empty());
+  double sum = 0;
+  for (const double x : samples_) sum += x;
+  return sum / static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::Series(
+    std::size_t points) const {
+  TSF_CHECK(points >= 2);
+  std::vector<std::pair<double, double>> series;
+  if (samples_.empty()) return series;
+  series.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double q = static_cast<double>(i) / static_cast<double>(points - 1);
+    series.emplace_back(Quantile(q), q);
+  }
+  return series;
+}
+
+std::string EmpiricalCdf::FormatSeries(std::size_t points,
+                                       const std::string& x_label,
+                                       const std::string& indent) const {
+  std::string out = indent + x_label + "  cum.frac\n";
+  for (const auto& [x, f] : Series(points)) {
+    char line[96];
+    std::snprintf(line, sizeof(line), "%s%12.4f  %8.3f\n", indent.c_str(), x, f);
+    out += line;
+  }
+  return out;
+}
+
+const std::vector<double>& EmpiricalCdf::Sorted() const {
+  EnsureSorted();
+  return samples_;
+}
+
+}  // namespace tsf

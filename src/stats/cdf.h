@@ -1,0 +1,51 @@
+// Empirical CDFs for figure reproduction.
+//
+// The paper's evaluation figures (Figs. 8, 9, 11) are all CDFs. EmpiricalCdf
+// collects samples, then answers quantile / fraction-below queries and emits
+// a fixed-size series of (x, F(x)) points suitable for plotting or textual
+// comparison against the paper's curves.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tsf {
+
+class EmpiricalCdf {
+ public:
+  void Add(double x);
+  void AddAll(const std::vector<double>& xs);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  // Value at quantile q in [0,1] (nearest-rank; q=0 min, q=1 max).
+  double Quantile(double q) const;
+
+  // Fraction of samples <= x.
+  double FractionBelow(double x) const;
+
+  double Min() const;
+  double Max() const;
+  double Mean() const;
+
+  // `points` evenly spaced quantiles from 0 to 1 inclusive, as (value, cum
+  // fraction) pairs — the series a figure plots.
+  std::vector<std::pair<double, double>> Series(std::size_t points) const;
+
+  // Renders Series() as aligned "  value  fraction" lines.
+  std::string FormatSeries(std::size_t points, const std::string& x_label,
+                           const std::string& indent = "  ") const;
+
+  // Raw sorted samples (sorts lazily).
+  const std::vector<double>& Sorted() const;
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace tsf

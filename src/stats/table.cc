@@ -1,0 +1,64 @@
+#include "stats/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace tsf {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  TSF_CHECK(!header_.empty());
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  TSF_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::Num(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+std::string TextTable::Percent(double fraction, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f%%", precision, 100.0 * fraction);
+  return buffer;
+}
+
+std::string TextTable::Format(const std::string& indent) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    std::string line = indent;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      // Left-align the first column (labels), right-align the rest (numbers).
+      const auto pad = widths[c] - row[c].size();
+      if (c == 0) {
+        line += row[c] + std::string(pad, ' ');
+      } else {
+        line += std::string(pad, ' ') + row[c];
+      }
+      if (c + 1 < row.size()) line += "  ";
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out = emit_row(header_);
+  std::size_t rule = indent.size();
+  for (std::size_t c = 0; c < widths.size(); ++c) rule += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  out += std::string(indent.size(), ' ') +
+         std::string(rule - indent.size(), '-') + '\n';
+  for (const auto& row : rows_) out += emit_row(row);
+  return out;
+}
+
+}  // namespace tsf

@@ -1,0 +1,29 @@
+// Aligned plain-text table printer used by the bench harnesses to emit the
+// paper's tables/figure series in a stable, diff-friendly format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tsf {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  // Each row must have exactly as many cells as the header.
+  void AddRow(std::vector<std::string> row);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string Num(double value, int precision = 3);
+  static std::string Percent(double fraction, int precision = 1);
+
+  // Renders with column alignment and a rule under the header.
+  std::string Format(const std::string& indent = "  ") const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tsf

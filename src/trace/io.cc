@@ -1,0 +1,263 @@
+#include "trace/io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace tsf::trace {
+namespace {
+
+std::string JoinIds(const std::vector<std::uint32_t>& ids) {
+  if (ids.empty()) return "-";
+  std::string out;
+  for (std::size_t k = 0; k < ids.size(); ++k) {
+    if (k > 0) out += ",";
+    out += std::to_string(ids[k]);
+  }
+  return out;
+}
+
+std::string JoinMachines(const std::vector<MachineId>& ids) {
+  std::string out;
+  for (std::size_t k = 0; k < ids.size(); ++k) {
+    if (k > 0) out += ",";
+    out += std::to_string(ids[k]);
+  }
+  return out;
+}
+
+bool SplitIds(const std::string& text, std::vector<std::uint64_t>* ids,
+              std::string* error) {
+  ids->clear();
+  if (text == "-") return true;
+  std::stringstream stream(text);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    try {
+      ids->push_back(std::stoull(token));
+    } catch (...) {
+      *error = "bad id list element: '" + token + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string WorkloadToText(const Workload& workload) {
+  std::string out = "# tsf-workload v1\n";
+  const Cluster& cluster = workload.cluster;
+  out += "resources " + std::to_string(cluster.num_resources()) + "\n";
+
+  for (const Machine& machine : cluster.machines()) {
+    out += "machine";
+    for (std::size_t r = 0; r < machine.capacity.dimension(); ++r)
+      out += " " + FormatDouble(machine.capacity[r]);
+    out += " attrs " + JoinIds(machine.attributes.ids()) + "\n";
+  }
+
+  for (const SimJob& job : workload.jobs) {
+    out += "job " + (job.spec.name.empty() ? "job" : job.spec.name);
+    out += " arrival " + FormatDouble(job.spec.arrival_time);
+    out += " weight " + FormatDouble(job.spec.weight);
+    out += " demand";
+    for (std::size_t r = 0; r < job.spec.demand.dimension(); ++r)
+      out += " " + FormatDouble(job.spec.demand[r]);
+    out += " constraint ";
+    switch (job.spec.constraint.kind()) {
+      case Constraint::Kind::kNone:
+        out += "none";
+        break;
+      case Constraint::Kind::kRequireAttributes:
+        out += "attrs " + JoinIds(job.spec.constraint.required_attributes().ids());
+        break;
+      case Constraint::Kind::kWhitelist:
+        out += "whitelist " + JoinMachines(job.spec.constraint.machine_list());
+        break;
+      case Constraint::Kind::kBlacklist:
+        out += "blacklist " + JoinMachines(job.spec.constraint.machine_list());
+        break;
+    }
+    out += "\nruntimes";
+    for (const double r : job.task_runtimes) out += " " + FormatDouble(r);
+    out += "\n";
+  }
+  return out;
+}
+
+bool WorkloadFromText(const std::string& text, Workload* workload,
+                      std::string* error) {
+  TSF_CHECK(workload != nullptr && error != nullptr);
+  *workload = Workload{};
+  error->clear();
+
+  std::stringstream stream(text);
+  std::string line;
+  std::size_t line_number = 0;
+  std::size_t resources = 0;
+  bool have_resources = false;
+  bool expecting_runtimes = false;
+
+  auto fail = [&](const std::string& message) {
+    *error = "line " + std::to_string(line_number) + ": " + message;
+    return false;
+  };
+
+  while (std::getline(stream, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::stringstream tokens(line);
+    std::string keyword;
+    tokens >> keyword;
+
+    if (keyword == "runtimes") {
+      if (!expecting_runtimes) return fail("runtimes without preceding job");
+      SimJob& job = workload->jobs.back();
+      double value = 0;
+      while (tokens >> value) {
+        if (value <= 0.0) return fail("non-positive task runtime");
+        job.task_runtimes.push_back(value);
+      }
+      if (job.task_runtimes.empty()) return fail("job has no tasks");
+      job.spec.num_tasks = static_cast<long>(job.task_runtimes.size());
+      expecting_runtimes = false;
+      continue;
+    }
+    if (expecting_runtimes) return fail("expected a runtimes line");
+
+    if (keyword == "resources") {
+      if (have_resources) return fail("duplicate resources line");
+      if (!(tokens >> resources) || resources == 0)
+        return fail("bad resource count");
+      have_resources = true;
+      continue;
+    }
+
+    if (keyword == "machine") {
+      if (!have_resources) return fail("machine before resources line");
+      std::vector<double> capacity(resources);
+      for (double& c : capacity)
+        if (!(tokens >> c) || c < 0) return fail("bad machine capacity");
+      std::string marker, ids_text;
+      if (!(tokens >> marker >> ids_text) || marker != "attrs")
+        return fail("expected 'attrs <ids|->'");
+      std::vector<std::uint64_t> ids;
+      if (!SplitIds(ids_text, &ids, error)) return false;
+      AttributeSet attributes;
+      for (const auto id : ids)
+        attributes.Add(static_cast<AttributeId>(id));
+      workload->cluster.AddMachine(ResourceVector(std::move(capacity)),
+                                   std::move(attributes));
+      continue;
+    }
+
+    if (keyword == "job") {
+      if (!have_resources) return fail("job before resources line");
+      SimJob job;
+      job.spec.id = workload->jobs.size();
+      std::string field;
+      if (!(tokens >> job.spec.name)) return fail("missing job name");
+      // arrival <t> weight <w> demand <d...> constraint <...>
+      if (!(tokens >> field) || field != "arrival") return fail("expected 'arrival'");
+      if (!(tokens >> job.spec.arrival_time) || job.spec.arrival_time < 0)
+        return fail("bad arrival time");
+      if (!(tokens >> field) || field != "weight") return fail("expected 'weight'");
+      if (!(tokens >> job.spec.weight) || job.spec.weight <= 0)
+        return fail("bad weight");
+      if (!(tokens >> field) || field != "demand") return fail("expected 'demand'");
+      std::vector<double> demand(resources);
+      for (double& d : demand)
+        if (!(tokens >> d) || d < 0) return fail("bad demand");
+      job.spec.demand = ResourceVector(std::move(demand));
+      if (!(tokens >> field) || field != "constraint")
+        return fail("expected 'constraint'");
+      std::string kind;
+      if (!(tokens >> kind)) return fail("missing constraint kind");
+      if (kind == "none") {
+        job.spec.constraint = Constraint::None();
+      } else {
+        std::string ids_text;
+        if (!(tokens >> ids_text)) return fail("missing constraint ids");
+        std::vector<std::uint64_t> ids;
+        if (!SplitIds(ids_text, &ids, error)) return false;
+        if (kind == "attrs") {
+          AttributeSet required;
+          for (const auto id : ids) required.Add(static_cast<AttributeId>(id));
+          job.spec.constraint = Constraint::RequireAttributes(std::move(required));
+        } else if (kind == "whitelist" || kind == "blacklist") {
+          std::vector<MachineId> machines(ids.begin(), ids.end());
+          job.spec.constraint = kind == "whitelist"
+                                    ? Constraint::Whitelist(std::move(machines))
+                                    : Constraint::Blacklist(std::move(machines));
+        } else {
+          return fail("unknown constraint kind '" + kind + "'");
+        }
+      }
+      workload->jobs.push_back(std::move(job));
+      expecting_runtimes = true;
+      continue;
+    }
+
+    return fail("unknown keyword '" + keyword + "'");
+  }
+
+  if (expecting_runtimes) return fail("file ends before runtimes line");
+  if (!have_resources) {
+    *error = "missing resources line";
+    return false;
+  }
+  if (workload->cluster.num_machines() == 0) {
+    *error = "no machines";
+    return false;
+  }
+  // Jobs must arrive in order for the simulator.
+  std::sort(workload->jobs.begin(), workload->jobs.end(),
+            [](const SimJob& a, const SimJob& b) {
+              return a.spec.arrival_time < b.spec.arrival_time;
+            });
+  for (std::size_t j = 0; j < workload->jobs.size(); ++j)
+    workload->jobs[j].spec.id = j;
+  return true;
+}
+
+bool SaveWorkload(const Workload& workload, const std::string& path,
+                  std::string* error) {
+  TSF_CHECK(error != nullptr);
+  std::ofstream file(path);
+  if (!file) {
+    *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  file << WorkloadToText(workload);
+  file.flush();
+  if (!file) {
+    *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+bool LoadWorkload(const std::string& path, Workload* workload,
+                  std::string* error) {
+  TSF_CHECK(error != nullptr);
+  std::ifstream file(path);
+  if (!file) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return WorkloadFromText(buffer.str(), workload, error);
+}
+
+}  // namespace tsf::trace

@@ -1,0 +1,40 @@
+// Workload (de)serialization.
+//
+// The simulator is trace-driven; this module defines a simple line-oriented
+// text format so workloads can be saved, inspected, hand-edited, or built
+// from real traces by external tooling, instead of always being
+// synthesized in-process.
+//
+//   # tsf-workload v1
+//   resources 2
+//   machine <cpu> <ram> attrs <a,b,...|->
+//   ...
+//   job <name> arrival <t> weight <w> demand <d1> <d2> ...
+//     constraint <none | attrs a,b | whitelist m,m | blacklist m,m>
+//   runtimes <r1> <r2> ... (one line per job, num_tasks entries)
+//
+// Lines starting with '#' and blank lines are ignored. Machines and jobs
+// are numbered by order of appearance; each `job` line must be followed by
+// its `runtimes` line.
+#pragma once
+
+#include <string>
+
+#include "sim/workload.h"
+
+namespace tsf::trace {
+
+// Renders a workload in the format above.
+std::string WorkloadToText(const Workload& workload);
+
+// Parses the format; returns false and fills *error on malformed input.
+bool WorkloadFromText(const std::string& text, Workload* workload,
+                      std::string* error);
+
+// File convenience wrappers (false + *error on I/O or parse failure).
+bool SaveWorkload(const Workload& workload, const std::string& path,
+                  std::string* error);
+bool LoadWorkload(const std::string& path, Workload* workload,
+                  std::string* error);
+
+}  // namespace tsf::trace

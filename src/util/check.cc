@@ -1,0 +1,16 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tsf {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& message) {
+  std::fprintf(stderr, "FATAL %s:%d: check failed: %s%s%s\n", file, line, expr,
+               message.empty() ? "" : " — ", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace tsf

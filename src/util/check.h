@@ -1,0 +1,90 @@
+// Runtime check macros.
+//
+// TSF_CHECK(cond) aborts with a diagnostic when `cond` is false, in every
+// build type. TSF_DCHECK is compiled out in NDEBUG builds and is meant for
+// hot paths. Both support streaming extra context:
+//
+//   TSF_CHECK(x >= 0) << "x went negative: " << x;
+//
+// Following the Core Guidelines (P.7: catch run-time errors early; I.6/I.8:
+// state preconditions), library entry points validate their inputs with
+// TSF_CHECK rather than silently producing garbage.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tsf {
+
+// Aborts the process after printing `file:line: message`. Marked noreturn so
+// control-flow analysis understands check failures terminate.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+namespace detail {
+
+// Collects streamed context for a failed check and fires in the destructor.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  CheckMessageBuilder(const CheckMessageBuilder&) = delete;
+  CheckMessageBuilder& operator=(const CheckMessageBuilder&) = delete;
+
+  [[noreturn]] ~CheckMessageBuilder() noexcept(false) {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+// Adapts the streamed builder expression to `void` so both branches of the
+// TSF_CHECK ternary have the same type. operator& binds looser than <<, so
+// all streamed context lands in the builder first.
+struct Voidifier {
+  void operator&(const CheckMessageBuilder&) const {}
+};
+
+// Swallows the streamed operands of a disabled TSF_DCHECK at zero cost.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+struct NullVoidifier {
+  void operator&(const NullStream&) const {}
+};
+
+}  // namespace detail
+}  // namespace tsf
+
+#define TSF_CHECK(cond)       \
+  (cond) ? (void)0            \
+         : ::tsf::detail::Voidifier() & ::tsf::detail::CheckMessageBuilder(__FILE__, __LINE__, #cond)
+
+#define TSF_CHECK_OP(a, op, b) TSF_CHECK((a)op(b)) << " lhs=" << (a) << " rhs=" << (b)
+#define TSF_CHECK_EQ(a, b) TSF_CHECK_OP(a, ==, b)
+#define TSF_CHECK_NE(a, b) TSF_CHECK_OP(a, !=, b)
+#define TSF_CHECK_LT(a, b) TSF_CHECK_OP(a, <, b)
+#define TSF_CHECK_LE(a, b) TSF_CHECK_OP(a, <=, b)
+#define TSF_CHECK_GT(a, b) TSF_CHECK_OP(a, >, b)
+#define TSF_CHECK_GE(a, b) TSF_CHECK_OP(a, >=, b)
+
+#ifdef NDEBUG
+#define TSF_DCHECK(cond) \
+  true ? (void)0 : ::tsf::detail::NullVoidifier() & ::tsf::detail::NullStream()
+#else
+#define TSF_DCHECK(cond) TSF_CHECK(cond)
+#endif

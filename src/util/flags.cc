@@ -1,0 +1,101 @@
+#include "util/flags.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+namespace tsf {
+namespace {
+
+// Maps a flag name to its TSF_<NAME> environment variable.
+std::string EnvName(std::string_view flag) {
+  std::string env = "TSF_";
+  for (const char c : flag)
+    env += c == '-' ? '_' : static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return env;
+}
+
+[[noreturn]] void UsageError(const std::string& message,
+                             const std::vector<std::pair<std::string, std::string>>& allowed) {
+  std::fprintf(stderr, "error: %s\n\nflags:\n", message.c_str());
+  for (const auto& [name, help] : allowed)
+    std::fprintf(stderr, "  --%-18s %s\n", name.c_str(), help.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+Flags::Flags(int argc, char** argv,
+             std::vector<std::pair<std::string, std::string>> allowed) {
+  std::set<std::string> names;
+  for (const auto& [name, help] : allowed) names.insert(name);
+  names.insert("help");
+
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!arg.starts_with("--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    std::string name, value;
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      name = std::string(arg.substr(0, eq));
+      value = std::string(arg.substr(eq + 1));
+    } else {
+      name = std::string(arg);
+      // `--flag value` form, unless the next token is another flag.
+      if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    if (!names.contains(name)) UsageError("unknown flag --" + name, allowed);
+    if (name == "help") UsageError("usage", allowed);
+    values_[name] = value;
+  }
+}
+
+bool Flags::Lookup(std::string_view name, std::string* out) const {
+  if (const auto it = values_.find(name); it != values_.end()) {
+    *out = it->second;
+    return true;
+  }
+  if (const char* env = std::getenv(EnvName(name).c_str()); env != nullptr) {
+    *out = env;
+    return true;
+  }
+  return false;
+}
+
+bool Flags::Has(std::string_view name) const {
+  std::string ignored;
+  return Lookup(name, &ignored);
+}
+
+std::string Flags::GetString(std::string_view name, std::string_view fallback) const {
+  std::string value;
+  return Lookup(name, &value) ? value : std::string(fallback);
+}
+
+std::int64_t Flags::GetInt(std::string_view name, std::int64_t fallback) const {
+  std::string value;
+  if (!Lookup(name, &value)) return fallback;
+  return std::strtoll(value.c_str(), nullptr, 10);
+}
+
+double Flags::GetDouble(std::string_view name, double fallback) const {
+  std::string value;
+  if (!Lookup(name, &value)) return fallback;
+  return std::strtod(value.c_str(), nullptr);
+}
+
+bool Flags::GetBool(std::string_view name, bool fallback) const {
+  std::string value;
+  if (!Lookup(name, &value)) return fallback;
+  return value == "true" || value == "1" || value == "yes" || value.empty();
+}
+
+}  // namespace tsf

@@ -1,0 +1,43 @@
+// Tiny command-line flag parser for bench/example binaries.
+//
+// Supports `--name=value`, `--name value`, and bare `--name` for booleans.
+// Every flag also reads a TSF_<NAME> environment variable as its default so
+// the whole bench suite can be re-scaled without editing command lines
+// (e.g. TSF_SEEDS=50 ./bench_fig9_job_perf).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tsf {
+
+class Flags {
+ public:
+  // Parses argv; unknown flags are an error (exit 2) so typos do not
+  // silently run the default experiment. Positional arguments are kept in
+  // positional(). `allowed` lists every legal flag name with a help string.
+  Flags(int argc, char** argv,
+        std::vector<std::pair<std::string, std::string>> allowed);
+
+  // Typed accessors; `name` without leading dashes. Fall back order:
+  // command line > TSF_<NAME> env var > fallback argument.
+  std::string GetString(std::string_view name, std::string_view fallback) const;
+  std::int64_t GetInt(std::string_view name, std::int64_t fallback) const;
+  double GetDouble(std::string_view name, double fallback) const;
+  bool GetBool(std::string_view name, bool fallback) const;
+
+  bool Has(std::string_view name) const;
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  // Returns the raw value for a flag, or empty optional semantics via bool.
+  bool Lookup(std::string_view name, std::string* out) const;
+
+  std::map<std::string, std::string, std::less<>> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace tsf

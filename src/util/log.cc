@@ -1,0 +1,90 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace tsf {
+namespace {
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+LogLevel InitialLevel() {
+  const char* env = std::getenv("TSF_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kWarn;
+  return ParseLogLevel(env);
+}
+
+std::atomic<int>& LevelStore() {
+  static std::atomic<int> level{static_cast<int>(InitialLevel())};
+  return level;
+}
+
+// Seconds since the first log call; cheap and monotonic.
+double ElapsedSeconds() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// Trims a path down to its basename for compact records.
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(LevelStore().load(std::memory_order_relaxed)); }
+
+void SetLogLevel(LogLevel level) {
+  LevelStore().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel ParseLogLevel(std::string_view text) {
+  std::string lower(text);
+  for (char& c : lower) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  return LogLevel::kWarn;
+}
+
+namespace detail {
+
+LogRecord::LogRecord(LogLevel level, const char* file, int line) : level_(level) {
+  char prefix[128];
+  std::snprintf(prefix, sizeof(prefix), "[%9.3f %-5s %s:%d] ", ElapsedSeconds(),
+                LevelName(level), Basename(file), line);
+  stream_ << prefix;
+}
+
+LogRecord::~LogRecord() {
+  stream_ << '\n';
+  const std::string text = stream_.str();
+  std::fwrite(text.data(), 1, text.size(), stderr);
+  if (level_ >= LogLevel::kError) std::fflush(stderr);
+}
+
+}  // namespace detail
+}  // namespace tsf

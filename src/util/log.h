@@ -1,0 +1,75 @@
+// Minimal leveled logger.
+//
+// Usage:
+//   TSF_LOG(INFO) << "scheduled " << n << " tasks";
+//
+// The active level is read once from the TSF_LOG_LEVEL environment variable
+// (TRACE, DEBUG, INFO, WARN, ERROR; default WARN so tests and benches stay
+// quiet) and can be overridden programmatically with SetLogLevel. Output goes
+// to stderr; each record carries a monotonic timestamp and the source
+// location. Thread-safe: records are formatted into a local buffer and
+// written with a single fwrite.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace tsf {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+};
+
+// Returns the currently active log threshold.
+LogLevel GetLogLevel();
+
+// Overrides the threshold (e.g. from a --verbose flag).
+void SetLogLevel(LogLevel level);
+
+// Parses "trace|debug|info|warn|error" (case-insensitive). Unknown strings
+// map to kWarn.
+LogLevel ParseLogLevel(std::string_view text);
+
+namespace detail {
+
+// One log record; emits itself on destruction.
+class LogRecord {
+ public:
+  LogRecord(LogLevel level, const char* file, int line);
+  LogRecord(const LogRecord&) = delete;
+  LogRecord& operator=(const LogRecord&) = delete;
+  ~LogRecord();
+
+  template <typename T>
+  LogRecord& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+struct LogVoidifier {
+  void operator&(const LogRecord&) const {}
+};
+
+}  // namespace detail
+}  // namespace tsf
+
+#define TSF_LOG_TRACE ::tsf::LogLevel::kTrace
+#define TSF_LOG_DEBUG ::tsf::LogLevel::kDebug
+#define TSF_LOG_INFO ::tsf::LogLevel::kInfo
+#define TSF_LOG_WARN ::tsf::LogLevel::kWarn
+#define TSF_LOG_ERROR ::tsf::LogLevel::kError
+
+#define TSF_LOG(severity)                                          \
+  (TSF_LOG_##severity < ::tsf::GetLogLevel())                      \
+      ? (void)0                                                    \
+      : ::tsf::detail::LogVoidifier() &                            \
+            ::tsf::detail::LogRecord(TSF_LOG_##severity, __FILE__, __LINE__)

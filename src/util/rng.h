@@ -1,0 +1,154 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components (workload synthesis, runtime jitter, simulation
+// seeds) draw from tsf::Rng so experiments are reproducible bit-for-bit from
+// a single seed. The engine is xoshiro256** seeded via splitmix64, which is
+// fast, has a 2^256-1 period, and — unlike std::mt19937 seeded from a single
+// int — gives well-decorrelated streams for consecutive seeds, which matters
+// when fanning one experiment out over 50 seeds.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace tsf {
+
+// splitmix64: used for seed expansion. Public so tests can pin values.
+constexpr std::uint64_t SplitMix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) { Seed(seed); }
+
+  // Re-seeds the engine; consecutive seeds yield independent streams.
+  void Seed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = SplitMix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double Uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    TSF_DCHECK(lo <= hi);
+    return lo + (hi - lo) * Uniform();
+  }
+
+  // Uniform integer in [0, bound). Uses Lemire's multiply-shift rejection.
+  std::uint64_t Below(std::uint64_t bound) {
+    TSF_DCHECK(bound > 0);
+    // Rejection-free fast path is fine here: bias is < 2^-64 * bound, far
+    // below anything observable in our experiment sizes.
+    const unsigned __int128 product =
+        static_cast<unsigned __int128>((*this)()) * bound;
+    return static_cast<std::uint64_t>(product >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t Int(std::int64_t lo, std::int64_t hi) {
+    TSF_DCHECK(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    Below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  // Bernoulli trial.
+  bool Chance(double p) { return Uniform() < p; }
+
+  // Standard normal via Box–Muller (no cached spare; simplicity over speed).
+  double Normal() {
+    double u1 = Uniform();
+    while (u1 <= 0.0) u1 = Uniform();
+    const double u2 = Uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * 3.14159265358979323846 * u2);
+  }
+
+  double Normal(double mean, double stddev) { return mean + stddev * Normal(); }
+
+  // Log-normal with the given parameters of the underlying normal.
+  double LogNormal(double mu, double sigma) { return std::exp(Normal(mu, sigma)); }
+
+  // Exponential with the given rate (events per unit time).
+  double Exponential(double rate) {
+    TSF_DCHECK(rate > 0);
+    double u = Uniform();
+    while (u <= 0.0) u = Uniform();
+    return -std::log(u) / rate;
+  }
+
+  // Bounded Pareto on [lo, hi] with tail index alpha; used for heavy-tailed
+  // job sizes.
+  double BoundedPareto(double alpha, double lo, double hi) {
+    TSF_DCHECK(alpha > 0);
+    TSF_DCHECK(0 < lo && lo < hi);
+    const double u = Uniform();
+    const double la = std::pow(lo, alpha);
+    const double ha = std::pow(hi, alpha);
+    return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+  }
+
+  // Samples an index according to non-negative weights (linear scan; the
+  // weight vectors in this codebase are tiny).
+  std::size_t WeightedIndex(const std::vector<double>& weights) {
+    TSF_DCHECK(!weights.empty());
+    double total = 0;
+    for (const double w : weights) {
+      TSF_DCHECK(w >= 0);
+      total += w;
+    }
+    TSF_DCHECK(total > 0);
+    double target = Uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      target -= weights[i];
+      if (target < 0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  // Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      using std::swap;
+      swap(items[i - 1], items[Below(i)]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace tsf

@@ -1,0 +1,107 @@
+// Unit tests for the Allocation type: accounting, feasibility diagnostics,
+// utilization.
+#include <gtest/gtest.h>
+
+#include "core/allocation.h"
+#include "core/paper_examples.h"
+
+namespace tsf {
+namespace {
+
+CompiledProblem Fig4() { return Compile(paper::Fig4()); }
+
+TEST(Allocation, TaskAccounting) {
+  Allocation allocation(2, 3);
+  allocation.set_tasks(0, 1, 2.5);
+  allocation.add_tasks(0, 1, 0.5);
+  allocation.add_tasks(0, 2, 1.0);
+  EXPECT_DOUBLE_EQ(allocation.tasks(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(allocation.UserTasks(0), 4.0);
+  EXPECT_DOUBLE_EQ(allocation.UserTasks(1), 0.0);
+}
+
+TEST(Allocation, MachineUsageAndSlack) {
+  const CompiledProblem problem = Fig4();
+  Allocation allocation(problem.num_users, problem.num_machines);
+  allocation.set_tasks(1, 1, 1.0);  // u2's whole machine m2
+  const ResourceVector usage = allocation.MachineUsage(1, problem);
+  const ResourceVector slack = allocation.MachineSlack(1, problem);
+  for (std::size_t r = 0; r < problem.num_resources; ++r)
+    EXPECT_NEAR(usage[r] + slack[r], problem.machine_capacity[1][r], 1e-12);
+  // u2's single task saturates m2's CPU (3 of 3).
+  EXPECT_NEAR(slack[0], 0.0, 1e-12);
+}
+
+TEST(Allocation, TaskSharesUseHTimesWeight) {
+  CompiledProblem problem = Fig4();
+  problem.weight[0] = 2.0;
+  Allocation allocation(problem.num_users, problem.num_machines);
+  allocation.set_tasks(0, 0, 7.0);
+  const std::vector<double> shares = allocation.TaskShares(problem);
+  EXPECT_NEAR(shares[0], 7.0 / (14.0 * 2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(shares[1], 0.0);
+}
+
+TEST(Allocation, FeasibilityDetectsOverCapacity) {
+  const CompiledProblem problem = Fig4();
+  Allocation allocation(problem.num_users, problem.num_machines);
+  allocation.set_tasks(2, 2, 100.0);  // far beyond m3
+  std::string error;
+  EXPECT_FALSE(allocation.IsFeasible(problem, &error));
+  EXPECT_NE(error.find("over capacity"), std::string::npos);
+}
+
+TEST(Allocation, FeasibilityDetectsIneligiblePlacement) {
+  const CompiledProblem problem = Fig4();
+  Allocation allocation(problem.num_users, problem.num_machines);
+  allocation.set_tasks(1, 0, 1.0);  // u2 may only use m2
+  std::string error;
+  EXPECT_FALSE(allocation.IsFeasible(problem, &error));
+  EXPECT_NE(error.find("ineligible machine"), std::string::npos);
+}
+
+TEST(Allocation, FeasibilityDetectsNegativeTasks) {
+  const CompiledProblem problem = Fig4();
+  Allocation allocation(problem.num_users, problem.num_machines);
+  allocation.set_tasks(0, 0, -1.0);
+  std::string error;
+  EXPECT_FALSE(allocation.IsFeasible(problem, &error));
+  EXPECT_NE(error.find("negative"), std::string::npos);
+}
+
+TEST(Allocation, FeasibilityDetectsShapeMismatch) {
+  const CompiledProblem problem = Fig4();
+  Allocation wrong(problem.num_users + 1, problem.num_machines);
+  std::string error;
+  EXPECT_FALSE(wrong.IsFeasible(problem, &error));
+  EXPECT_NE(error.find("shape"), std::string::npos);
+}
+
+TEST(Allocation, UtilizationOfEmptyAndFull) {
+  const CompiledProblem problem = Fig4();
+  Allocation empty(problem.num_users, problem.num_machines);
+  EXPECT_DOUBLE_EQ(empty.Utilization(problem), 0.0);
+
+  // The paper's allocation: 6 + 1 + 3 tasks.
+  Allocation paper_allocation(problem.num_users, problem.num_machines);
+  paper_allocation.set_tasks(0, 0, 6.0);
+  paper_allocation.set_tasks(1, 1, 1.0);
+  paper_allocation.set_tasks(2, 2, 3.0);
+  // CPU: (6*1 + 1*3 + 3*1) / 21 = 12/21; RAM: (12 + 1 + 12) / 28 = 25/28.
+  EXPECT_NEAR(paper_allocation.Utilization(problem, 0), 12.0 / 21.0, 1e-9);
+  EXPECT_NEAR(paper_allocation.Utilization(problem, 1), 25.0 / 28.0, 1e-9);
+  EXPECT_NEAR(paper_allocation.Utilization(problem),
+              0.5 * (12.0 / 21.0 + 25.0 / 28.0), 1e-9);
+}
+
+TEST(Allocation, ToStringListsOnlyNonZeroCells) {
+  const CompiledProblem problem = Fig4();
+  Allocation allocation(problem.num_users, problem.num_machines);
+  allocation.set_tasks(0, 0, 2.0);
+  const std::string text = allocation.ToString(problem);
+  EXPECT_NE(text.find("m0:2.000"), std::string::npos);
+  EXPECT_EQ(text.find("m1:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tsf

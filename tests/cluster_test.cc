@@ -1,0 +1,176 @@
+// Unit tests for constraints, Cluster, Compile, and constraint-graph
+// component analysis.
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+
+namespace tsf {
+namespace {
+
+// The 4-machine constraint graph of Fig. 1: u1 everywhere but m4, u2
+// everywhere, u3 only on m3, u4 on {m2, m4}.
+SharingProblem Fig1Problem() {
+  SharingProblem problem;
+  for (int k = 0; k < 4; ++k)
+    problem.cluster.AddMachine(ResourceVector{4.0, 8.0});
+  JobSpec u1{.id = 0, .name = "u1", .demand = {1.0, 1.0}};
+  u1.constraint = Constraint::Blacklist({3});
+  JobSpec u2{.id = 1, .name = "u2", .demand = {1.0, 1.0}};
+  JobSpec u3{.id = 2, .name = "u3", .demand = {1.0, 1.0}};
+  u3.constraint = Constraint::Whitelist({2});
+  JobSpec u4{.id = 3, .name = "u4", .demand = {1.0, 1.0}};
+  u4.constraint = Constraint::Whitelist({1, 3});
+  problem.jobs = {u1, u2, u3, u4};
+  return problem;
+}
+
+TEST(AttributeSet, ContainsAll) {
+  const AttributeSet machine({1, 3, 5, 7});
+  EXPECT_TRUE(machine.ContainsAll(AttributeSet({3, 7})));
+  EXPECT_TRUE(machine.ContainsAll(AttributeSet{}));
+  EXPECT_FALSE(machine.ContainsAll(AttributeSet({3, 4})));
+}
+
+TEST(AttributeSet, AddIsIdempotentAndSorted) {
+  AttributeSet set;
+  set.Add(5);
+  set.Add(1);
+  set.Add(5);
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.ids(), (std::vector<AttributeId>{1, 5}));
+}
+
+TEST(Constraint, NoneAllowsEverything) {
+  const Constraint c = Constraint::None();
+  EXPECT_TRUE(c.Allows(0, AttributeSet{}));
+  EXPECT_TRUE(c.Allows(99, AttributeSet({1, 2})));
+}
+
+TEST(Constraint, AttributeRequirement) {
+  const Constraint c = Constraint::RequireAttributes(AttributeSet({2, 4}));
+  EXPECT_TRUE(c.Allows(0, AttributeSet({1, 2, 4})));
+  EXPECT_FALSE(c.Allows(0, AttributeSet({2})));
+}
+
+TEST(Constraint, WhitelistAndBlacklist) {
+  const Constraint white = Constraint::Whitelist({1, 3});
+  EXPECT_TRUE(white.Allows(1, AttributeSet{}));
+  EXPECT_FALSE(white.Allows(2, AttributeSet{}));
+  const Constraint black = Constraint::Blacklist({1, 3});
+  EXPECT_FALSE(black.Allows(1, AttributeSet{}));
+  EXPECT_TRUE(black.Allows(2, AttributeSet{}));
+}
+
+TEST(Cluster, TotalsAndNormalization) {
+  Cluster cluster;
+  cluster.AddMachine(ResourceVector{9.0, 12.0});
+  cluster.AddMachine(ResourceVector{3.0, 4.0});
+  EXPECT_EQ(cluster.total(), (ResourceVector{12.0, 16.0}));
+  const ResourceVector c0 = cluster.NormalizedCapacity(0);
+  EXPECT_DOUBLE_EQ(c0[0], 0.75);
+  EXPECT_DOUBLE_EQ(c0[1], 0.75);
+  const ResourceVector d = cluster.NormalizedDemand({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(d[0], 1.0 / 12.0);
+  EXPECT_DOUBLE_EQ(d[1], 2.0 / 16.0);
+}
+
+TEST(Cluster, EligibilityMatchesFig1) {
+  const SharingProblem problem = Fig1Problem();
+  const CompiledProblem compiled = Compile(problem);
+  // u1: all but m4.
+  EXPECT_TRUE(compiled.eligible[0].Test(0));
+  EXPECT_TRUE(compiled.eligible[0].Test(2));
+  EXPECT_FALSE(compiled.eligible[0].Test(3));
+  // u2: everywhere.
+  EXPECT_TRUE(compiled.eligible[1].All());
+  // u3: only m3.
+  EXPECT_EQ(compiled.eligible[2].Count(), 1u);
+  EXPECT_TRUE(compiled.eligible[2].Test(2));
+  // u4: m2 and m4.
+  EXPECT_EQ(compiled.eligible[3].Count(), 2u);
+}
+
+TEST(Compile, MonopolyCountsFig4Example) {
+  // The running example of Sec. V-A: h = (14, 7, 7).
+  SharingProblem problem;
+  problem.cluster.AddMachine(ResourceVector{9.0, 12.0});
+  problem.cluster.AddMachine(ResourceVector{3.0, 4.0});
+  problem.cluster.AddMachine(ResourceVector{9.0, 12.0});
+  JobSpec u1{.id = 0, .name = "u1", .demand = {1.0, 2.0}};
+  u1.constraint = Constraint::Blacklist({2});
+  JobSpec u2{.id = 1, .name = "u2", .demand = {3.0, 1.0}};
+  u2.constraint = Constraint::Whitelist({1});
+  JobSpec u3{.id = 2, .name = "u3", .demand = {1.0, 4.0}};
+  problem.jobs = {u1, u2, u3};
+  const CompiledProblem compiled = Compile(problem);
+  EXPECT_NEAR(compiled.h[0], 14.0, 1e-9);
+  EXPECT_NEAR(compiled.h[1], 7.0, 1e-9);
+  EXPECT_NEAR(compiled.h[2], 7.0, 1e-9);
+  // Constrained monopoly: u1 loses m3 (6 tasks), u2 keeps only m2 (1 task).
+  EXPECT_NEAR(compiled.g[0], 8.0, 1e-9);
+  EXPECT_NEAR(compiled.g[1], 1.0, 1e-9);
+  EXPECT_NEAR(compiled.g[2], 7.0, 1e-9);
+}
+
+TEST(CompileDeathTest, RejectsZeroDemand) {
+  SharingProblem problem;
+  problem.cluster.AddMachine(ResourceVector{1.0, 1.0});
+  problem.jobs.push_back(JobSpec{.id = 0, .name = "z", .demand = {0.0, 0.0}});
+  EXPECT_DEATH(Compile(problem), "demand must be positive");
+}
+
+TEST(CompileDeathTest, RejectsUnsatisfiableConstraint) {
+  SharingProblem problem;
+  problem.cluster.AddMachine(ResourceVector{1.0, 1.0});
+  JobSpec job{.id = 0, .name = "nowhere", .demand = {1.0, 1.0}};
+  job.constraint = Constraint::RequireAttributes(AttributeSet({42}));
+  problem.jobs.push_back(job);
+  EXPECT_DEATH(Compile(problem), "no machine satisfies");
+}
+
+TEST(CompileDeathTest, RejectsNonPositiveWeight) {
+  SharingProblem problem;
+  problem.cluster.AddMachine(ResourceVector{1.0});
+  JobSpec job{.id = 0, .name = "w0", .demand = {1.0}};
+  job.weight = 0.0;
+  problem.jobs.push_back(job);
+  EXPECT_DEATH(Compile(problem), "weight must be positive");
+}
+
+TEST(FindComponents, ConnectedGraphIsOneComponent) {
+  const CompiledProblem compiled = Compile(Fig1Problem());
+  const ConstraintComponents components = FindComponents(compiled);
+  EXPECT_EQ(components.count, 1u);
+}
+
+TEST(FindComponents, DisjointWhitelistsSplit) {
+  SharingProblem problem;
+  for (int k = 0; k < 4; ++k) problem.cluster.AddMachine(ResourceVector{1.0});
+  JobSpec a{.id = 0, .name = "a", .demand = {1.0}};
+  a.constraint = Constraint::Whitelist({0, 1});
+  JobSpec b{.id = 1, .name = "b", .demand = {1.0}};
+  b.constraint = Constraint::Whitelist({2, 3});
+  problem.jobs = {a, b};
+  const ConstraintComponents components = FindComponents(Compile(problem));
+  EXPECT_EQ(components.count, 2u);
+  EXPECT_NE(components.user_component[0], components.user_component[1]);
+  EXPECT_EQ(components.machine_component[0], components.machine_component[1]);
+  EXPECT_EQ(components.machine_component[2], components.machine_component[3]);
+}
+
+TEST(FindComponents, SharedUserMergesComponents) {
+  SharingProblem problem;
+  for (int k = 0; k < 3; ++k) problem.cluster.AddMachine(ResourceVector{1.0});
+  JobSpec a{.id = 0, .name = "a", .demand = {1.0}};
+  a.constraint = Constraint::Whitelist({0});
+  JobSpec b{.id = 1, .name = "b", .demand = {1.0}};
+  b.constraint = Constraint::Whitelist({0, 2});
+  problem.jobs = {a, b};
+  const ConstraintComponents components = FindComponents(Compile(problem));
+  // m1 bridged to m3 through user b; m2 has no user and stands alone.
+  EXPECT_EQ(components.count, 2u);
+  EXPECT_EQ(components.user_component[0], components.user_component[1]);
+}
+
+}  // namespace
+}  // namespace tsf

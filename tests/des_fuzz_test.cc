@@ -1,0 +1,135 @@
+// Randomized stress tests of the discrete-event simulator: on arbitrary
+// workloads the DES must uphold its invariants for every policy —
+// conservation of tasks, capacity never exceeded, non-preemption, and
+// work conservation (no task waits while an eligible machine could hold it).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/des.h"
+#include "util/rng.h"
+
+namespace tsf {
+namespace {
+
+Workload RandomWorkload(std::uint64_t seed) {
+  Rng rng(seed);
+  Workload workload;
+  const auto machines = static_cast<std::size_t>(rng.Int(2, 6));
+  for (std::size_t m = 0; m < machines; ++m)
+    workload.cluster.AddMachine(ResourceVector(std::vector<double>{
+        rng.Uniform(2.0, 8.0), rng.Uniform(2.0, 8.0)}));
+  const auto jobs = static_cast<std::size_t>(rng.Int(2, 8));
+  for (UserId i = 0; i < jobs; ++i) {
+    JobSpec spec;
+    spec.id = i;
+    spec.name = "j" + std::to_string(i);
+    // Demands guaranteed to fit the smallest possible machine (2.0).
+    spec.demand = ResourceVector(std::vector<double>{
+        rng.Uniform(0.3, 2.0), rng.Uniform(0.3, 2.0)});
+    spec.arrival_time = rng.Uniform(0.0, 20.0);
+    spec.num_tasks = rng.Int(1, 30);
+    if (rng.Chance(0.5)) {
+      std::vector<MachineId> allowed;
+      for (MachineId m = 0; m < machines; ++m)
+        if (rng.Chance(0.6)) allowed.push_back(m);
+      if (allowed.empty()) allowed.push_back(rng.Below(machines));
+      spec.constraint = Constraint::Whitelist(allowed);
+    }
+    workload.jobs.push_back(
+        MakeJitteredJob(std::move(spec), rng.Uniform(2.0, 15.0), 0.2, rng()));
+  }
+  std::sort(workload.jobs.begin(), workload.jobs.end(),
+            [](const SimJob& a, const SimJob& b) {
+              return a.spec.arrival_time < b.spec.arrival_time;
+            });
+  for (std::size_t j = 0; j < workload.jobs.size(); ++j)
+    workload.jobs[j].spec.id = j;
+  return workload;
+}
+
+std::vector<OnlinePolicy> AllPolicies() {
+  return {OnlinePolicy::Fifo(),         OnlinePolicy::Drf(),
+          OnlinePolicy::Cdrf(),         OnlinePolicy::Cmmf(0, "CPU"),
+          OnlinePolicy::Cmmf(1, "Mem"), OnlinePolicy::Tsf()};
+}
+
+class DesFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DesFuzz, TasksConservedAndTimingSane) {
+  const Workload workload = RandomWorkload(GetParam());
+  for (const OnlinePolicy& policy : AllPolicies()) {
+    const SimResult result = Simulate(workload, policy);
+    ASSERT_EQ(result.tasks.size(), workload.TotalTasks()) << policy.name;
+    std::map<std::size_t, long> per_job;
+    for (const TaskRecord& task : result.tasks) {
+      ++per_job[task.job];
+      EXPECT_GE(task.schedule, task.submit) << policy.name;
+      EXPECT_GT(task.finish, task.schedule) << policy.name;
+      EXPECT_LE(task.finish, result.makespan + 1e-9) << policy.name;
+    }
+    for (std::size_t j = 0; j < workload.jobs.size(); ++j)
+      EXPECT_EQ(per_job[j], workload.jobs[j].spec.num_tasks) << policy.name;
+  }
+}
+
+TEST_P(DesFuzz, CapacityNeverExceeded) {
+  const Workload workload = RandomWorkload(GetParam() + 1000);
+  const SimResult result = Simulate(workload, OnlinePolicy::Tsf());
+
+  // Without per-task machine ids in the records we check the cluster-wide
+  // aggregate at every schedule instant: total demand of concurrently
+  // running tasks must fit the cluster totals.
+  const ResourceVector total = workload.cluster.total();
+  for (const TaskRecord& probe : result.tasks) {
+    const double t = probe.schedule;
+    ResourceVector in_use(total.dimension());
+    for (const TaskRecord& task : result.tasks)
+      if (task.schedule <= t && task.finish > t)
+        in_use += workload.jobs[task.job].spec.demand;
+    for (std::size_t r = 0; r < total.dimension(); ++r)
+      EXPECT_LE(in_use[r], total[r] + 1e-6);
+  }
+}
+
+TEST_P(DesFuzz, WorkConservingAtScheduleInstants) {
+  // Weak work-conservation probe: whenever a task is scheduled strictly
+  // after its submit time, some capacity event must have occurred in
+  // between — i.e. the task was not simply forgotten. We verify each
+  // delayed task starts exactly at another task's finish time or at its
+  // job's arrival batch instant.
+  const Workload workload = RandomWorkload(GetParam() + 2000);
+  for (const OnlinePolicy& policy : AllPolicies()) {
+    const SimResult result = Simulate(workload, policy);
+    std::vector<double> finish_times;
+    for (const TaskRecord& task : result.tasks)
+      finish_times.push_back(task.finish);
+    std::sort(finish_times.begin(), finish_times.end());
+    for (const TaskRecord& task : result.tasks) {
+      if (task.schedule <= task.submit + 1e-12) continue;
+      const bool at_finish = std::binary_search(
+          finish_times.begin(), finish_times.end(), task.schedule);
+      EXPECT_TRUE(at_finish)
+          << policy.name << ": task of job " << task.job
+          << " scheduled at " << task.schedule
+          << " which is neither its arrival nor a completion instant";
+    }
+  }
+}
+
+TEST_P(DesFuzz, DeterministicAcrossRuns) {
+  const Workload workload = RandomWorkload(GetParam() + 3000);
+  const SimResult a = Simulate(workload, OnlinePolicy::Tsf());
+  const SimResult b = Simulate(workload, OnlinePolicy::Tsf());
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  for (std::size_t t = 0; t < a.tasks.size(); ++t) {
+    EXPECT_DOUBLE_EQ(a.tasks[t].schedule, b.tasks[t].schedule);
+    EXPECT_DOUBLE_EQ(a.tasks[t].finish, b.tasks[t].finish);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DesFuzz,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace tsf

@@ -1,0 +1,147 @@
+// Tests for Algorithm 1 (progressive filling) against the paper's worked
+// examples and hand-checkable scenarios.
+#include <gtest/gtest.h>
+
+#include "core/offline/policies.h"
+#include "core/offline/progressive_filling.h"
+#include "core/paper_examples.h"
+
+namespace tsf {
+namespace {
+
+TEST(ProgressiveFilling, Fig4TsfAllocationMatchesPaper) {
+  const CompiledProblem problem = Compile(paper::Fig4());
+  const FillingResult result = SolveTsf(problem);
+
+  std::string error;
+  ASSERT_TRUE(result.allocation.IsFeasible(problem, &error)) << error;
+
+  // The paper's allocation: u1 six tasks, u2 one, u3 three, with task shares
+  // 3/7, 1/7, 3/7.
+  EXPECT_NEAR(result.allocation.UserTasks(0), 6.0, 1e-5);
+  EXPECT_NEAR(result.allocation.UserTasks(1), 1.0, 1e-5);
+  EXPECT_NEAR(result.allocation.UserTasks(2), 3.0, 1e-5);
+  EXPECT_NEAR(result.shares[0], 3.0 / 7.0, 1e-6);
+  EXPECT_NEAR(result.shares[1], 1.0 / 7.0, 1e-6);
+  EXPECT_NEAR(result.shares[2], 3.0 / 7.0, 1e-6);
+
+  // u2 saturates in round 1 (its only machine fills up); u1 and u3 later.
+  EXPECT_EQ(result.freeze_round[1], 1u);
+  EXPECT_GT(result.freeze_round[0], 1u);
+  EXPECT_GT(result.freeze_round[2], 1u);
+}
+
+TEST(ProgressiveFilling, Fig2TsfIsConstraintLieProof) {
+  // TSF's denominator h ignores constraints, so u2 claiming extra machines
+  // must not raise its task count.
+  const CompiledProblem honest = Compile(paper::Fig2Truthful());
+  const CompiledProblem lied = Compile(paper::Fig2Lie());
+  const FillingResult honest_result = SolveTsf(honest);
+  const FillingResult lied_result = SolveTsf(lied);
+  // Honest TSF: equalize n1/18 = n2/12 under m2's capacity: (9, 6).
+  EXPECT_NEAR(honest_result.allocation.UserTasks(0), 9.0, 1e-5);
+  EXPECT_NEAR(honest_result.allocation.UserTasks(1), 6.0, 1e-5);
+  // The lie leaves h unchanged, and u2 gains nothing.
+  EXPECT_LE(lied_result.allocation.UserTasks(1),
+            honest_result.allocation.UserTasks(1) + 1e-5);
+}
+
+TEST(ProgressiveFilling, SingleUserMonopolizesEligibleMachines) {
+  SharingProblem problem;
+  problem.cluster.AddMachine(ResourceVector{4.0, 4.0});
+  problem.cluster.AddMachine(ResourceVector{4.0, 4.0});
+  JobSpec job{.id = 0, .name = "solo", .demand = {1.0, 1.0}};
+  job.constraint = Constraint::Whitelist({0});
+  problem.jobs = {job};
+  const CompiledProblem compiled = Compile(problem);
+  const FillingResult result = SolveTsf(compiled);
+  EXPECT_NEAR(result.allocation.UserTasks(0), 4.0, 1e-6);
+  EXPECT_NEAR(result.allocation.tasks(0, 1), 0.0, 1e-9);
+  // h = 8 (both machines), so the lone user's share is 1/2, not 1.
+  EXPECT_NEAR(result.shares[0], 0.5, 1e-6);
+}
+
+TEST(ProgressiveFilling, IdenticalUsersSplitEvenly) {
+  SharingProblem problem;
+  problem.cluster.AddMachine(ResourceVector{12.0, 12.0});
+  for (UserId i = 0; i < 3; ++i)
+    problem.jobs.push_back(
+        JobSpec{.id = i, .name = "u" + std::to_string(i), .demand = {1.0, 1.0}});
+  const CompiledProblem compiled = Compile(problem);
+  const FillingResult result = SolveTsf(compiled);
+  for (UserId i = 0; i < 3; ++i)
+    EXPECT_NEAR(result.allocation.UserTasks(i), 4.0, 1e-6);
+}
+
+TEST(ProgressiveFilling, WeightsScaleShares) {
+  // Two identical users, weight 2 vs 1: tasks split 2:1.
+  SharingProblem problem;
+  problem.cluster.AddMachine(ResourceVector{9.0});
+  JobSpec heavy{.id = 0, .name = "heavy", .demand = {1.0}};
+  heavy.weight = 2.0;
+  JobSpec light{.id = 1, .name = "light", .demand = {1.0}};
+  problem.jobs = {heavy, light};
+  const CompiledProblem compiled = Compile(problem);
+  const FillingResult result = SolveTsf(compiled);
+  EXPECT_NEAR(result.allocation.UserTasks(0), 6.0, 1e-6);
+  EXPECT_NEAR(result.allocation.UserTasks(1), 3.0, 1e-6);
+}
+
+TEST(ProgressiveFilling, RoundLevelsAreNonDecreasing) {
+  const CompiledProblem problem = Compile(paper::Fig4());
+  const FillingResult result = SolveTsf(problem);
+  for (std::size_t t = 1; t < result.round_levels.size(); ++t)
+    EXPECT_GE(result.round_levels[t], result.round_levels[t - 1] - 1e-9);
+}
+
+TEST(ProgressiveFilling, DisconnectedComponentsFillIndependently) {
+  // Two separate machine islands; the small island's user saturates low,
+  // the big island's user gets everything there.
+  SharingProblem problem;
+  problem.cluster.AddMachine(ResourceVector{2.0});
+  problem.cluster.AddMachine(ResourceVector{10.0});
+  JobSpec small{.id = 0, .name = "small", .demand = {1.0}};
+  small.constraint = Constraint::Whitelist({0});
+  JobSpec big{.id = 1, .name = "big", .demand = {1.0}};
+  big.constraint = Constraint::Whitelist({1});
+  problem.jobs = {small, big};
+  const CompiledProblem compiled = Compile(problem);
+  const FillingResult result = SolveTsf(compiled);
+  EXPECT_NEAR(result.allocation.UserTasks(0), 2.0, 1e-6);
+  EXPECT_NEAR(result.allocation.UserTasks(1), 10.0, 1e-6);
+}
+
+TEST(ProgressiveFilling, InactiveUsersKeepFloorsInLaterRounds) {
+  // u2 freezes first in Fig. 4; later rounds must not drop it below 1 task.
+  const CompiledProblem problem = Compile(paper::Fig4());
+  const FillingResult result = SolveTsf(problem);
+  EXPECT_GE(result.allocation.UserTasks(1), 1.0 - 1e-6);
+}
+
+TEST(MaxShareWithFloors, UnboundedByOthersWhenAlone) {
+  const CompiledProblem problem = Compile(paper::Fig4());
+  const std::vector<double> unit(problem.num_users, 1.0);
+  std::vector<double> floors(problem.num_users, 0.0);
+  // With no floors, u3 can reach its constrained monopoly: g = 7 tasks.
+  const double max_tasks = MaxShareWithFloors(problem, unit, 2, floors);
+  EXPECT_NEAR(max_tasks, 7.0, 1e-5);
+}
+
+TEST(MaxShareWithFloors, FloorsBind) {
+  const CompiledProblem problem = Compile(paper::Fig4());
+  const std::vector<double> unit(problem.num_users, 1.0);
+  std::vector<double> floors = {6.0, 1.0, 0.0};
+  // With u1 and u2 at the TSF allocation, u3 can still reach only 3 tasks.
+  const double max_tasks = MaxShareWithFloors(problem, unit, 2, floors);
+  EXPECT_NEAR(max_tasks, 3.0, 1e-5);
+}
+
+TEST(ProgressiveFillingDeathTest, RejectsNonPositiveDenominator) {
+  const CompiledProblem problem = Compile(paper::Fig4());
+  std::vector<double> denominator(problem.num_users, 1.0);
+  denominator[0] = 0.0;
+  EXPECT_DEATH(ProgressiveFilling(problem, denominator), "check failed");
+}
+
+}  // namespace
+}  // namespace tsf

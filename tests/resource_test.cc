@@ -1,0 +1,93 @@
+// Unit tests for ResourceVector.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/resource.h"
+
+namespace tsf {
+namespace {
+
+TEST(ResourceVector, ZeroConstruction) {
+  const ResourceVector v(3);
+  EXPECT_EQ(v.dimension(), 3u);
+  EXPECT_TRUE(v.IsZero());
+  EXPECT_DOUBLE_EQ(v.Sum(), 0.0);
+}
+
+TEST(ResourceVector, InitializerList) {
+  const ResourceVector v{8.0, 4.0};
+  EXPECT_EQ(v.dimension(), 2u);
+  EXPECT_DOUBLE_EQ(v[0], 8.0);
+  EXPECT_DOUBLE_EQ(v[1], 4.0);
+}
+
+TEST(ResourceVectorDeathTest, RejectsNegativeComponents) {
+  EXPECT_DEATH(ResourceVector({1.0, -2.0}), "negative resource");
+}
+
+TEST(ResourceVector, Arithmetic) {
+  const ResourceVector a{3.0, 1.0};
+  const ResourceVector b{1.0, 0.5};
+  const ResourceVector sum = a + b;
+  EXPECT_DOUBLE_EQ(sum[0], 4.0);
+  EXPECT_DOUBLE_EQ(sum[1], 1.5);
+  const ResourceVector diff = a - b;
+  EXPECT_DOUBLE_EQ(diff[0], 2.0);
+  const ResourceVector scaled = 2.0 * b;
+  EXPECT_DOUBLE_EQ(scaled[0], 2.0);
+  EXPECT_DOUBLE_EQ(scaled[1], 1.0);
+}
+
+TEST(ResourceVector, FitsWithTolerance) {
+  const ResourceVector capacity{1.0, 1.0};
+  EXPECT_TRUE(capacity.Fits({1.0, 1.0}));
+  EXPECT_TRUE(capacity.Fits({1.0 + 1e-12, 1.0}));  // round-off forgiven
+  EXPECT_FALSE(capacity.Fits({1.1, 0.1}));
+}
+
+TEST(ResourceVector, DivisibleTaskCountTakesBindingResource) {
+  const ResourceVector machine{9.0, 12.0};
+  EXPECT_DOUBLE_EQ(machine.DivisibleTaskCount({1.0, 2.0}), 6.0);  // RAM binds
+  EXPECT_DOUBLE_EQ(machine.DivisibleTaskCount({3.0, 1.0}), 3.0);  // CPU binds
+}
+
+TEST(ResourceVector, DivisibleTaskCountIgnoresZeroDemands) {
+  const ResourceVector machine{4.0, 100.0};
+  EXPECT_DOUBLE_EQ(machine.DivisibleTaskCount({2.0, 0.0}), 2.0);
+}
+
+TEST(ResourceVector, DivisibleTaskCountAllZeroDemandIsInfinite) {
+  const ResourceVector machine{4.0, 4.0};
+  EXPECT_TRUE(std::isinf(machine.DivisibleTaskCount(ResourceVector(2))));
+}
+
+TEST(ResourceVector, IntegralTaskCountFloorsAndForgivesRoundoff) {
+  const ResourceVector machine{10.0, 10.0};
+  EXPECT_EQ(machine.IntegralTaskCount({3.0, 1.0}), 3);
+  // 0.1 * 30 != 3.0 exactly in binary; the count must still be 100.
+  ResourceVector tight{3.0, 10.0};
+  EXPECT_EQ(tight.IntegralTaskCount({0.03, 0.1}), 100);
+}
+
+TEST(ResourceVector, NonNegativeAndIsZero) {
+  ResourceVector v{1.0, 0.0};
+  v -= ResourceVector{1.0, 0.0};
+  EXPECT_TRUE(v.NonNegative());
+  EXPECT_TRUE(v.IsZero(1e-12));
+  v -= ResourceVector{1.0, 0.0};
+  EXPECT_FALSE(v.NonNegative());
+}
+
+TEST(ResourceVector, MaxComponent) {
+  EXPECT_DOUBLE_EQ((ResourceVector{0.2, 0.7, 0.1}).MaxComponent(), 0.7);
+}
+
+TEST(ResourceVector, ToStringRoundTripsValues) {
+  const ResourceVector v{1.5, 2.0};
+  EXPECT_EQ(v.ToString(), "<1.5, 2>");
+}
+
+}  // namespace
+}  // namespace tsf

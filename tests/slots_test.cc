@@ -1,0 +1,136 @@
+// Tests for the slot-based scheduler substrate.
+#include <gtest/gtest.h>
+
+#include "sim/slots.h"
+
+namespace tsf {
+namespace {
+
+Workload OneMachineWorkload(double cores, double ram, JobSpec spec,
+                            double runtime) {
+  Workload workload;
+  workload.cluster.AddMachine(ResourceVector{cores, ram});
+  workload.jobs.push_back(MakeUniformJob(std::move(spec), runtime));
+  return workload;
+}
+
+TEST(SlotScheduler, SlotsPerMachineFromBindingResource) {
+  // <8 cores, 8 GB> with <1 core, 2 GB> slots: RAM binds at 4 slots.
+  JobSpec spec{.id = 0, .name = "j", .demand = {1.0, 2.0}};
+  spec.num_tasks = 4;
+  const Workload workload = OneMachineWorkload(8.0, 8.0, spec, 10.0);
+  SlotSchedulerConfig config;
+  config.slot_size = ResourceVector{1.0, 2.0};
+  const SlotSimResult result = SimulateSlotScheduler(workload, config);
+  EXPECT_DOUBLE_EQ(result.total_slots, 4.0);
+  // All four tasks fit concurrently: one wave.
+  EXPECT_DOUBLE_EQ(result.sim.makespan, 10.0);
+}
+
+TEST(SlotScheduler, BigTasksOccupyMultipleSlots) {
+  // Task needs <2, 4>: two <1, 2> slots. Four slots -> 2 tasks at a time.
+  JobSpec spec{.id = 0, .name = "big", .demand = {2.0, 4.0}};
+  spec.num_tasks = 4;
+  const Workload workload = OneMachineWorkload(4.0, 8.0, spec, 10.0);
+  SlotSchedulerConfig config;
+  config.slot_size = ResourceVector{1.0, 2.0};
+  const SlotSimResult result = SimulateSlotScheduler(workload, config);
+  EXPECT_DOUBLE_EQ(result.total_slots, 4.0);
+  EXPECT_DOUBLE_EQ(result.sim.makespan, 20.0);  // two waves
+}
+
+TEST(SlotScheduler, SmallTasksWasteSlotCapacity) {
+  // Task demands <0.5, 1> inside a <1, 2> slot: fragmentation. The machine
+  // could pack 8 such tasks multi-resource, but only 4 slots exist.
+  JobSpec spec{.id = 0, .name = "small", .demand = {0.5, 1.0}};
+  spec.num_tasks = 8;
+  const Workload workload = OneMachineWorkload(4.0, 8.0, spec, 10.0);
+  SlotSchedulerConfig config;
+  config.slot_size = ResourceVector{1.0, 2.0};
+  const SlotSimResult slot_result = SimulateSlotScheduler(workload, config);
+  EXPECT_DOUBLE_EQ(slot_result.sim.makespan, 20.0);  // 4 at a time, 2 waves
+  EXPECT_NEAR(slot_result.mean_used_fraction, 0.5, 1e-9);
+
+  // The multi-resource scheduler runs all 8 at once.
+  const SimResult multi = Simulate(workload, OnlinePolicy::Tsf());
+  EXPECT_DOUBLE_EQ(multi.makespan, 10.0);
+}
+
+TEST(SlotScheduler, HonorsConstraints) {
+  Workload workload;
+  workload.cluster.AddMachine(ResourceVector{4.0, 8.0});
+  workload.cluster.AddMachine(ResourceVector{4.0, 8.0});
+  JobSpec spec{.id = 0, .name = "pinned", .demand = {1.0, 2.0}};
+  spec.num_tasks = 8;
+  spec.constraint = Constraint::Whitelist({1});
+  workload.jobs.push_back(MakeUniformJob(spec, 5.0));
+  SlotSchedulerConfig config;
+  config.slot_size = ResourceVector{1.0, 2.0};
+  const SlotSimResult result = SimulateSlotScheduler(workload, config);
+  // Only machine 1's four slots usable -> two waves.
+  EXPECT_DOUBLE_EQ(result.sim.makespan, 10.0);
+}
+
+TEST(SlotScheduler, FairSharesSlotsBetweenJobs) {
+  Workload workload;
+  workload.cluster.AddMachine(ResourceVector{4.0, 8.0});  // 4 slots
+  for (UserId i = 0; i < 2; ++i) {
+    JobSpec spec{.id = i, .name = "j" + std::to_string(i),
+                 .demand = {1.0, 2.0}};
+    spec.num_tasks = 8;
+    workload.jobs.push_back(MakeUniformJob(spec, 10.0));
+  }
+  SlotSchedulerConfig config;
+  config.slot_size = ResourceVector{1.0, 2.0};
+  const SlotSimResult result = SimulateSlotScheduler(workload, config);
+  // 2 slots each per wave -> both finish after 4 waves.
+  EXPECT_NEAR(result.sim.jobs[0].CompletionTime(),
+              result.sim.jobs[1].CompletionTime(), 10.0 + 1e-9);
+}
+
+TEST(SlotScheduler, TaskMetricsAlignWithMultiResourceRuns) {
+  Workload workload;
+  workload.cluster.AddMachine(ResourceVector{2.0, 4.0});
+  JobSpec spec{.id = 0, .name = "j", .demand = {1.0, 2.0}};
+  spec.num_tasks = 6;
+  workload.jobs.push_back(MakeJitteredJob(spec, 4.0, 0.2, 5));
+  SlotSchedulerConfig config;
+  config.slot_size = ResourceVector{1.0, 2.0};
+  const SlotSimResult slot_result = SimulateSlotScheduler(workload, config);
+  const SimResult multi = Simulate(workload, OnlinePolicy::Tsf());
+  ASSERT_EQ(slot_result.sim.tasks.size(), multi.tasks.size());
+  for (std::size_t t = 0; t < multi.tasks.size(); ++t) {
+    EXPECT_EQ(slot_result.sim.tasks[t].job, multi.tasks[t].job);
+    EXPECT_EQ(slot_result.sim.tasks[t].index, multi.tasks[t].index);
+  }
+}
+
+TEST(SlotSchedulerDeathTest, SlotBiggerThanEveryMachine) {
+  JobSpec spec{.id = 0, .name = "j", .demand = {1.0, 1.0}};
+  spec.num_tasks = 1;
+  const Workload workload = OneMachineWorkload(2.0, 2.0, spec, 1.0);
+  SlotSchedulerConfig config;
+  config.slot_size = ResourceVector{4.0, 4.0};
+  EXPECT_DEATH(SimulateSlotScheduler(workload, config), "slot size larger");
+}
+
+TEST(SlotScheduler, TaskNeedingMoreSlotsThanAnyMachineIsDropped) {
+  // A <4,8> task needs 4 <1,2>-slots, but the only machine holds 2: the
+  // job is reported dropped rather than deadlocking the run.
+  JobSpec wide{.id = 0, .name = "wide", .demand = {4.0, 8.0}};
+  wide.num_tasks = 1;
+  Workload workload = OneMachineWorkload(2.0, 4.0, wide, 1.0);
+  JobSpec ok{.id = 1, .name = "ok", .demand = {1.0, 2.0}};
+  ok.num_tasks = 2;
+  workload.jobs.push_back(MakeUniformJob(ok, 3.0));
+  SlotSchedulerConfig config;
+  config.slot_size = ResourceVector{1.0, 2.0};
+  const SlotSimResult result = SimulateSlotScheduler(workload, config);
+  ASSERT_EQ(result.dropped_jobs.size(), 1u);
+  EXPECT_EQ(result.dropped_jobs[0], 0u);
+  EXPECT_EQ(result.sim.tasks.size(), 2u);  // only the schedulable job ran
+  EXPECT_DOUBLE_EQ(result.sim.makespan, 3.0);
+}
+
+}  // namespace
+}  // namespace tsf

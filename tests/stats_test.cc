@@ -1,0 +1,119 @@
+// Unit tests for src/stats: summaries, CDFs, table printing.
+#include <gtest/gtest.h>
+
+#include "stats/cdf.h"
+#include "stats/summary.h"
+#include "stats/table.h"
+
+namespace tsf {
+namespace {
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+}
+
+TEST(Summary, EmptyIsZeroed) {
+  const Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, MergeEqualsSequential) {
+  Summary all, left, right;
+  for (int i = 0; i < 50; ++i) {
+    const double x = 0.37 * i * i - 3.0 * i;
+    all.Add(x);
+    (i % 2 == 0 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(Summary, MergeWithEmpty) {
+  Summary a, empty;
+  a.Add(3.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
+TEST(EmpiricalCdf, QuantilesOfKnownData) {
+  EmpiricalCdf cdf;
+  for (int i = 1; i <= 100; ++i) cdf.Add(i);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(1.0), 100.0);
+  EXPECT_NEAR(cdf.Quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(cdf.Quantile(0.9), 90.0, 1.0);
+}
+
+TEST(EmpiricalCdf, FractionBelow) {
+  EmpiricalCdf cdf;
+  cdf.AddAll({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.FractionBelow(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.FractionBelow(2.0), 0.5);  // <= is inclusive
+  EXPECT_DOUBLE_EQ(cdf.FractionBelow(10.0), 1.0);
+}
+
+TEST(EmpiricalCdf, SeriesIsMonotone) {
+  EmpiricalCdf cdf;
+  for (int i = 0; i < 1000; ++i) cdf.Add((i * 7919) % 101);
+  const auto series = cdf.Series(21);
+  ASSERT_EQ(series.size(), 21u);
+  for (std::size_t k = 1; k < series.size(); ++k) {
+    EXPECT_GE(series[k].first, series[k - 1].first);
+    EXPECT_GT(series[k].second, series[k - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(series.front().second, 0.0);
+  EXPECT_DOUBLE_EQ(series.back().second, 1.0);
+}
+
+TEST(EmpiricalCdf, InterleavedAddAndQuery) {
+  EmpiricalCdf cdf;
+  cdf.Add(5.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.5), 5.0);
+  cdf.Add(1.0);  // must re-sort lazily
+  EXPECT_DOUBLE_EQ(cdf.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.Max(), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.Mean(), 3.0);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"policy", "tasks"});
+  table.AddRow({"TSF", "10"});
+  table.AddRow({"CDRF", "4"});
+  const std::string out = table.Format();
+  EXPECT_NE(out.find("policy"), std::string::npos);
+  EXPECT_NE(out.find("TSF"), std::string::npos);
+  // Numbers right-aligned: "10" and " 4" end at the same column.
+  const auto line_tsf = out.find("TSF");
+  const auto nl_tsf = out.find('\n', line_tsf);
+  const auto line_cdrf = out.find("CDRF");
+  const auto nl_cdrf = out.find('\n', line_cdrf);
+  EXPECT_EQ(nl_tsf - line_tsf, nl_cdrf - line_cdrf);
+}
+
+TEST(TextTable, NumAndPercentFormat) {
+  EXPECT_EQ(TextTable::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::Percent(0.6, 0), "60%");
+}
+
+TEST(TextTableDeathTest, RowWidthMismatchAborts) {
+  TextTable table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "check failed");
+}
+
+}  // namespace
+}  // namespace tsf

@@ -1,0 +1,213 @@
+// Tests for the Google-trace-like workload synthesizer: the generated
+// aggregates must match the distributions the paper publishes in Fig. 8.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "trace/google.h"
+
+namespace tsf::trace {
+namespace {
+
+TEST(GoogleCluster, MachineShapesComeFromThePlatformMenu) {
+  const Cluster cluster = SampleGoogleCluster(500, 3);
+  ASSERT_EQ(cluster.num_machines(), 500u);
+  const std::vector<std::pair<double, double>> menu = {
+      {8, 16}, {8, 8},   {16, 16}, {8, 32}, {16, 32},
+      {4, 16}, {16, 64}, {32, 32}, {4, 4},  {2, 8}};
+  for (const Machine& machine : cluster.machines()) {
+    const std::pair<double, double> shape{machine.capacity[0],
+                                          machine.capacity[1]};
+    EXPECT_NE(std::find(menu.begin(), menu.end(), shape), menu.end())
+        << machine.capacity.ToString();
+  }
+}
+
+TEST(GoogleCluster, EveryMachineHasExactlyOneClass) {
+  const Cluster cluster = SampleGoogleCluster(300, 11);
+  for (const Machine& machine : cluster.machines()) {
+    int classes = 0;
+    for (std::size_t c = 0; c < kNumMachineClasses; ++c)
+      classes += machine.attributes.Contains(
+          static_cast<AttributeId>(kNumAttributes + c));
+    EXPECT_EQ(classes, 1);
+  }
+}
+
+TEST(GoogleCluster, DeterministicInSeed) {
+  const Cluster a = SampleGoogleCluster(100, 5);
+  const Cluster b = SampleGoogleCluster(100, 5);
+  for (std::size_t m = 0; m < 100; ++m) {
+    EXPECT_EQ(a.machine(m).capacity, b.machine(m).capacity);
+    EXPECT_EQ(a.machine(m).attributes.ids(), b.machine(m).attributes.ids());
+  }
+}
+
+class GoogleWorkloadTest : public ::testing::Test {
+ protected:
+  static const Workload& Load() {
+    static const Workload workload = [] {
+      GoogleTraceConfig config;
+      config.num_machines = 1000;
+      config.num_jobs = 4500;
+      config.seed = 42;
+      return SynthesizeGoogleWorkload(config);
+    }();
+    return workload;
+  }
+};
+
+TEST_F(GoogleWorkloadTest, JobCountAndSorting) {
+  const Workload& workload = Load();
+  ASSERT_EQ(workload.jobs.size(), 4500u);
+  for (std::size_t j = 1; j < workload.jobs.size(); ++j)
+    EXPECT_LE(workload.jobs[j - 1].spec.arrival_time,
+              workload.jobs[j].spec.arrival_time);
+}
+
+TEST_F(GoogleWorkloadTest, TotalTasksNearPaperScale) {
+  // The paper's sample: ~180k tasks. Accept a generous band — the tail is
+  // heavy — but fail on order-of-magnitude drift.
+  const std::size_t total = Load().TotalTasks();
+  EXPECT_GE(total, 120000u);
+  EXPECT_LE(total, 300000u);
+}
+
+TEST_F(GoogleWorkloadTest, JobSizeDistributionMatchesFig8b) {
+  const Workload& workload = Load();
+  std::size_t singles = 0, small = 0;
+  long max_size = 0;
+  for (const SimJob& job : workload.jobs) {
+    singles += job.spec.num_tasks == 1;
+    small += job.spec.num_tasks <= 10;
+    max_size = std::max(max_size, job.spec.num_tasks);
+  }
+  const double n = static_cast<double>(workload.jobs.size());
+  EXPECT_GT(singles / n, 0.57);  // paper: >60 % single-task
+  EXPECT_LT(singles / n, 0.68);
+  EXPECT_GT(small / n, 0.80);    // paper: small jobs are 86 % of population
+  EXPECT_LT(small / n, 0.92);
+  EXPECT_GT(max_size, 2000);     // a heavy tail exists
+  EXPECT_LE(max_size, 20000);    // paper: biggest job ~20k tasks
+}
+
+TEST_F(GoogleWorkloadTest, ConstraintDistributionMatchesFig8a) {
+  const Workload& workload = Load();
+  const std::size_t machines = workload.cluster.num_machines();
+  std::size_t runs_everywhere = 0, runs_on_fifth = 0;
+  for (const SimJob& job : workload.jobs) {
+    const std::size_t eligible =
+        workload.cluster.Eligibility(job.spec.constraint).Count();
+    ASSERT_GT(eligible, 0u);
+    runs_everywhere += eligible == machines;
+    runs_on_fifth += eligible <= machines / 5;
+  }
+  const double n = static_cast<double>(workload.jobs.size());
+  // Fig. 8a: fewer than 20% of jobs can run on all machines; about half can
+  // run on at most 200 of 1000.
+  EXPECT_LT(runs_everywhere / n, 0.20);
+  EXPECT_GT(runs_everywhere / n, 0.08);
+  EXPECT_GT(runs_on_fifth / n, 0.38);
+  EXPECT_LT(runs_on_fifth / n, 0.62);
+}
+
+TEST_F(GoogleWorkloadTest, DemandsAreCpuIntensive) {
+  // In machine-normalized terms CPU should dominate for most jobs (the
+  // paper relies on this: CMMF-CPU ≈ DRF in Fig. 11).
+  const Workload& workload = Load();
+  std::size_t cpu_dominant = 0;
+  for (const SimJob& job : workload.jobs) {
+    const ResourceVector d =
+        workload.cluster.NormalizedDemand(job.spec.demand);
+    cpu_dominant += d[0] >= d[1];
+  }
+  EXPECT_GT(static_cast<double>(cpu_dominant) /
+                static_cast<double>(workload.jobs.size()),
+            0.6);
+}
+
+TEST_F(GoogleWorkloadTest, RuntimesWithinClampAndJitterBand) {
+  const Workload& workload = Load();
+  for (const SimJob& job : workload.jobs) {
+    ASSERT_EQ(job.task_runtimes.size(),
+              static_cast<std::size_t>(job.spec.num_tasks));
+    for (const double r : job.task_runtimes) {
+      EXPECT_GE(r, 10.0 * 0.8 - 1e-9);
+      EXPECT_LE(r, 3600.0 * 1.2 + 1e-9);
+      EXPECT_GE(r, job.spec.mean_task_runtime * 0.8 - 1e-9);
+      EXPECT_LE(r, job.spec.mean_task_runtime * 1.2 + 1e-9);
+    }
+  }
+}
+
+TEST(GoogleWorkload, DeterministicInSeed) {
+  GoogleTraceConfig config;
+  config.num_machines = 50;
+  config.num_jobs = 100;
+  config.seed = 9;
+  const Workload a = SynthesizeGoogleWorkload(config);
+  const Workload b = SynthesizeGoogleWorkload(config);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t j = 0; j < a.jobs.size(); ++j) {
+    EXPECT_EQ(a.jobs[j].spec.num_tasks, b.jobs[j].spec.num_tasks);
+    EXPECT_EQ(a.jobs[j].spec.demand, b.jobs[j].spec.demand);
+    EXPECT_EQ(a.jobs[j].task_runtimes, b.jobs[j].task_runtimes);
+  }
+}
+
+TEST(GoogleWorkload, SeedsProduceDifferentWorkloads) {
+  GoogleTraceConfig config;
+  config.num_machines = 50;
+  config.num_jobs = 200;
+  config.seed = 1;
+  const Workload a = SynthesizeGoogleWorkload(config);
+  config.seed = 2;
+  const Workload b = SynthesizeGoogleWorkload(config);
+  EXPECT_NE(a.TotalTasks(), b.TotalTasks());
+}
+
+TEST(GoogleWorkload, TightnessZeroDisablesConstraints) {
+  GoogleTraceConfig config;
+  config.num_machines = 100;
+  config.num_jobs = 300;
+  config.constraint_tightness = 0.0;
+  config.seed = 4;
+  const Workload workload = SynthesizeGoogleWorkload(config);
+  for (const SimJob& job : workload.jobs)
+    EXPECT_EQ(job.spec.constraint.kind(), Constraint::Kind::kNone);
+}
+
+TEST(GoogleWorkload, TightnessAboveOneShrinksEligibility) {
+  GoogleTraceConfig base;
+  base.num_machines = 200;
+  base.num_jobs = 500;
+  base.seed = 6;
+  GoogleTraceConfig tight = base;
+  tight.constraint_tightness = 1.8;
+  const Workload loose_load = SynthesizeGoogleWorkload(base);
+  const Workload tight_load = SynthesizeGoogleWorkload(tight);
+  auto mean_eligible = [](const Workload& workload) {
+    double sum = 0;
+    for (const SimJob& job : workload.jobs)
+      sum += static_cast<double>(
+          workload.cluster.Eligibility(job.spec.constraint).Count());
+    return sum / static_cast<double>(workload.jobs.size());
+  };
+  EXPECT_LT(mean_eligible(tight_load), mean_eligible(loose_load));
+}
+
+TEST(GoogleWorkload, JobSizeScaleShrinksLoad) {
+  GoogleTraceConfig base;
+  base.num_machines = 50;
+  base.num_jobs = 400;
+  base.seed = 8;
+  GoogleTraceConfig scaled = base;
+  scaled.job_size_scale = 0.25;
+  const std::size_t full = SynthesizeGoogleWorkload(base).TotalTasks();
+  const std::size_t quarter = SynthesizeGoogleWorkload(scaled).TotalTasks();
+  EXPECT_LT(quarter, full / 2);
+  EXPECT_GE(quarter, 400u);  // every job keeps at least one task
+}
+
+}  // namespace
+}  // namespace tsf::trace

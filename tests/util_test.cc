@@ -1,0 +1,280 @@
+// Unit tests for src/util: checks, bitset, RNG, flags, thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "util/bitset.h"
+#include "util/check.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace tsf {
+namespace {
+
+// ------------------------------------------------------------- check ----
+
+TEST(Check, PassingCheckDoesNothing) {
+  TSF_CHECK(1 + 1 == 2);
+  TSF_CHECK_EQ(4, 4) << "never evaluated";
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(TSF_CHECK(false) << "context 42", "context 42");
+}
+
+TEST(CheckDeathTest, FailingCheckOpPrintsOperands) {
+  const int a = 3;
+  EXPECT_DEATH(TSF_CHECK_EQ(a, 5), "lhs=3");
+}
+
+// ------------------------------------------------------------ bitset ----
+
+TEST(DynamicBitset, StartsAllClear) {
+  const DynamicBitset bits(130);
+  EXPECT_EQ(bits.size(), 130u);
+  EXPECT_EQ(bits.Count(), 0u);
+  EXPECT_TRUE(bits.None());
+  EXPECT_FALSE(bits.Any());
+}
+
+TEST(DynamicBitset, SetTestReset) {
+  DynamicBitset bits(100);
+  bits.Set(0);
+  bits.Set(63);
+  bits.Set(64);
+  bits.Set(99);
+  EXPECT_TRUE(bits.Test(0));
+  EXPECT_TRUE(bits.Test(63));
+  EXPECT_TRUE(bits.Test(64));
+  EXPECT_TRUE(bits.Test(99));
+  EXPECT_FALSE(bits.Test(1));
+  EXPECT_EQ(bits.Count(), 4u);
+  bits.Reset(63);
+  EXPECT_FALSE(bits.Test(63));
+  EXPECT_EQ(bits.Count(), 3u);
+}
+
+TEST(DynamicBitset, SetAllRespectsSize) {
+  DynamicBitset bits(70);  // crosses a word boundary with padding
+  bits.SetAll();
+  EXPECT_EQ(bits.Count(), 70u);
+  EXPECT_TRUE(bits.All());
+}
+
+TEST(DynamicBitset, IntersectsAndOperators) {
+  DynamicBitset a(128), b(128);
+  a.Set(5);
+  a.Set(100);
+  b.Set(100);
+  EXPECT_TRUE(a.Intersects(b));
+  b.Reset(100);
+  b.Set(6);
+  EXPECT_FALSE(a.Intersects(b));
+
+  const DynamicBitset both = a | b;
+  EXPECT_EQ(both.Count(), 3u);
+  const DynamicBitset neither = a & b;
+  EXPECT_TRUE(neither.None());
+}
+
+TEST(DynamicBitset, ForEachSetVisitsAscending) {
+  DynamicBitset bits(200);
+  const std::vector<std::size_t> expected = {3, 64, 65, 127, 128, 199};
+  for (const auto i : expected) bits.Set(i);
+  std::vector<std::size_t> seen;
+  bits.ForEachSet([&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(DynamicBitset, FindFirst) {
+  DynamicBitset bits(128);
+  EXPECT_EQ(bits.FindFirst(), 128u);
+  bits.Set(77);
+  EXPECT_EQ(bits.FindFirst(), 77u);
+  bits.Set(3);
+  EXPECT_EQ(bits.FindFirst(), 3u);
+}
+
+// --------------------------------------------------------------- rng ----
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a() == b();
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowStaysBelow) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.Below(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all values hit
+}
+
+TEST(Rng, IntInclusiveBounds) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.Int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  double sum = 0, sq = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BoundedParetoStaysInRange) {
+  Rng rng(19);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.BoundedPareto(1.2, 1.0, 1000.0);
+    EXPECT_GE(x, 1.0 - 1e-9);
+    EXPECT_LE(x, 1000.0 + 1e-9);
+  }
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(23);
+  std::vector<int> hits(3, 0);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  for (int i = 0; i < 40000; ++i) ++hits[rng.WeightedIndex(weights)];
+  EXPECT_EQ(hits[1], 0);
+  EXPECT_NEAR(static_cast<double>(hits[2]) / hits[0], 3.0, 0.2);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(29);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+// ------------------------------------------------------------- flags ----
+
+TEST(Flags, ParsesEqualsAndSpaceForms) {
+  const char* argv[] = {"prog", "--machines=100", "--jobs", "42", "--fast"};
+  Flags flags(5, const_cast<char**>(argv),
+              {{"machines", ""}, {"jobs", ""}, {"fast", ""}});
+  EXPECT_EQ(flags.GetInt("machines", 0), 100);
+  EXPECT_EQ(flags.GetInt("jobs", 0), 42);
+  EXPECT_TRUE(flags.GetBool("fast", false));
+}
+
+TEST(Flags, FallbackWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Flags flags(1, const_cast<char**>(argv), {{"x", ""}});
+  EXPECT_EQ(flags.GetInt("x", 7), 7);
+  EXPECT_EQ(flags.GetString("x", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(flags.GetDouble("x", 2.5), 2.5);
+  EXPECT_FALSE(flags.Has("x"));
+}
+
+TEST(Flags, EnvironmentFallback) {
+  ::setenv("TSF_SOME_KNOB", "123", 1);
+  const char* argv[] = {"prog"};
+  Flags flags(1, const_cast<char**>(argv), {{"some-knob", ""}});
+  EXPECT_EQ(flags.GetInt("some-knob", 0), 123);
+  ::unsetenv("TSF_SOME_KNOB");
+}
+
+TEST(Flags, CommandLineBeatsEnvironment) {
+  ::setenv("TSF_KNOB", "1", 1);
+  const char* argv[] = {"prog", "--knob=2"};
+  Flags flags(2, const_cast<char**>(argv), {{"knob", ""}});
+  EXPECT_EQ(flags.GetInt("knob", 0), 2);
+  ::unsetenv("TSF_KNOB");
+}
+
+TEST(FlagsDeathTest, UnknownFlagExits) {
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_EXIT(Flags(2, const_cast<char**>(argv), {{"real", ""}}),
+              ::testing::ExitedWithCode(2), "unknown flag");
+}
+
+// ------------------------------------------------------- thread pool ----
+
+TEST(ThreadPool, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&hits](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, SingleThreadStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> sum{0};
+  pool.ParallelFor(10, [&sum](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+}  // namespace
+}  // namespace tsf

@@ -1,0 +1,117 @@
+// Tests for Theorem-1 weight helpers and component-wise solving.
+#include <gtest/gtest.h>
+
+#include "core/offline/weights.h"
+#include "core/paper_examples.h"
+#include "util/rng.h"
+
+namespace tsf {
+namespace {
+
+TEST(Theorem1Weights, Fig4PoolWeights) {
+  const CompiledProblem problem = Compile(paper::Fig4());
+  DedicatedPools pools;
+  pools.fraction.assign(3, std::vector<double>(3, 0.0));
+  pools.fraction[0][0] = 1.0;  // u1 owns m1 -> k=6
+  pools.fraction[1][1] = 1.0;  // u2 owns m2 -> k=1
+  pools.fraction[2][2] = 1.0;  // u3 owns m3 -> k=3
+  const std::vector<double> weights = Theorem1Weights(problem, pools);
+  EXPECT_NEAR(weights[0], 6.0 / 14.0, 1e-9);
+  EXPECT_NEAR(weights[1], 1.0 / 7.0, 1e-9);
+  EXPECT_NEAR(weights[2], 3.0 / 7.0, 1e-9);
+}
+
+TEST(Theorem1Weights, GuaranteeHolds) {
+  // With those weights, TSF must give each user at least k_i tasks.
+  const CompiledProblem problem = Compile(paper::Fig4());
+  DedicatedPools pools;
+  pools.fraction.assign(3, std::vector<double>(3, 0.0));
+  pools.fraction[0][0] = 1.0;
+  pools.fraction[1][1] = 1.0;
+  pools.fraction[2][2] = 1.0;
+  const CompiledProblem weighted =
+      WithWeights(problem, Theorem1Weights(problem, pools));
+  const FillingResult result = SolveTsf(weighted);
+  const double expected_k[] = {6.0, 1.0, 3.0};
+  for (UserId i = 0; i < 3; ++i)
+    EXPECT_GE(result.allocation.UserTasks(i), expected_k[i] - 1e-5);
+}
+
+TEST(Theorem1WeightsDeathTest, EmptyPoolRejected) {
+  const CompiledProblem problem = Compile(paper::Fig4());
+  DedicatedPools pools;
+  pools.fraction.assign(3, std::vector<double>(3, 0.0));
+  pools.fraction[0][0] = 1.0;
+  pools.fraction[2][2] = 1.0;  // u2's pool left empty
+  EXPECT_DEATH(Theorem1Weights(problem, pools), "non-empty pool");
+}
+
+TEST(WithWeightsDeathTest, NonPositiveWeightRejected) {
+  const CompiledProblem problem = Compile(paper::Fig4());
+  EXPECT_DEATH(WithWeights(problem, {1.0, 0.0, 1.0}), "check failed");
+}
+
+TEST(SolvePerComponent, MatchesWholeSolveOnConnectedProblem) {
+  const CompiledProblem problem = Compile(paper::Fig4());
+  const FillingResult whole = SolveTsf(problem);
+  const FillingResult split = SolvePerComponent(problem, OfflinePolicy::kTsf);
+  for (UserId i = 0; i < problem.num_users; ++i)
+    EXPECT_NEAR(split.allocation.UserTasks(i), whole.allocation.UserTasks(i),
+                1e-5);
+}
+
+TEST(SolvePerComponent, SolvesDisconnectedIslandsIndependently) {
+  SharingProblem problem;
+  problem.cluster.AddMachine(ResourceVector{4.0});
+  problem.cluster.AddMachine(ResourceVector{10.0});
+  problem.cluster.AddMachine(ResourceVector{6.0});  // unused island
+  JobSpec a{.id = 0, .name = "a", .demand = {1.0}};
+  a.constraint = Constraint::Whitelist({0});
+  JobSpec b{.id = 1, .name = "b", .demand = {2.0}};
+  b.constraint = Constraint::Whitelist({1});
+  problem.jobs = {a, b};
+  const CompiledProblem compiled = Compile(problem);
+  const FillingResult split = SolvePerComponent(compiled, OfflinePolicy::kTsf);
+  EXPECT_NEAR(split.allocation.UserTasks(0), 4.0, 1e-6);
+  EXPECT_NEAR(split.allocation.UserTasks(1), 5.0, 1e-6);
+  std::string error;
+  EXPECT_TRUE(split.allocation.IsFeasible(compiled, &error)) << error;
+}
+
+TEST(SolvePerComponent, RandomizedAgreementWithWholeSolve) {
+  // Disconnected random instances: component-wise == whole-problem solving
+  // for both TSF and CDRF (user task totals agree).
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    Rng rng(seed * 13 + 1);
+    SharingProblem problem;
+    // Two islands of 2 machines each.
+    for (int m = 0; m < 4; ++m)
+      problem.cluster.AddMachine(ResourceVector{rng.Uniform(4.0, 16.0),
+                                                rng.Uniform(4.0, 16.0)});
+    const auto users = static_cast<std::size_t>(rng.Int(2, 5));
+    for (UserId i = 0; i < users; ++i) {
+      JobSpec job{.id = i, .name = "u" + std::to_string(i)};
+      job.demand = ResourceVector{rng.Uniform(0.3, 2.0), rng.Uniform(0.3, 2.0)};
+      const bool left_island = rng.Chance(0.5);
+      std::vector<MachineId> allowed = left_island
+                                           ? std::vector<MachineId>{0, 1}
+                                           : std::vector<MachineId>{2, 3};
+      if (rng.Chance(0.5)) allowed.pop_back();
+      job.constraint = Constraint::Whitelist(allowed);
+      problem.jobs.push_back(std::move(job));
+    }
+    const CompiledProblem compiled = Compile(problem);
+    for (const OfflinePolicy policy :
+         {OfflinePolicy::kTsf, OfflinePolicy::kCdrf}) {
+      const FillingResult whole = SolveOffline(policy, compiled);
+      const FillingResult split = SolvePerComponent(compiled, policy);
+      for (UserId i = 0; i < compiled.num_users; ++i)
+        EXPECT_NEAR(split.allocation.UserTasks(i),
+                    whole.allocation.UserTasks(i), 1e-4)
+            << ToString(policy) << " seed " << seed << " user " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tsf
