@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_denominator.dir/bench_ablation_denominator.cc.o"
+  "CMakeFiles/bench_ablation_denominator.dir/bench_ablation_denominator.cc.o.d"
+  "bench_ablation_denominator"
+  "bench_ablation_denominator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_denominator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_online_vs_offline.dir/bench_ablation_online_vs_offline.cc.o"
+  "CMakeFiles/bench_ablation_online_vs_offline.dir/bench_ablation_online_vs_offline.cc.o.d"
+  "bench_ablation_online_vs_offline"
+  "bench_ablation_online_vs_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_online_vs_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

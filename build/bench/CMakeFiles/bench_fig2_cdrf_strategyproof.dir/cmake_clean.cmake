@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_cdrf_strategyproof.dir/bench_fig2_cdrf_strategyproof.cc.o"
+  "CMakeFiles/bench_fig2_cdrf_strategyproof.dir/bench_fig2_cdrf_strategyproof.cc.o.d"
+  "bench_fig2_cdrf_strategyproof"
+  "bench_fig2_cdrf_strategyproof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_cdrf_strategyproof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_cdrf_envy.dir/bench_fig3_cdrf_envy.cc.o"
+  "CMakeFiles/bench_fig3_cdrf_envy.dir/bench_fig3_cdrf_envy.cc.o.d"
+  "bench_fig3_cdrf_envy"
+  "bench_fig3_cdrf_envy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_cdrf_envy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_static_vs_tsf.dir/bench_fig6_static_vs_tsf.cc.o"
+  "CMakeFiles/bench_fig6_static_vs_tsf.dir/bench_fig6_static_vs_tsf.cc.o.d"
+  "bench_fig6_static_vs_tsf"
+  "bench_fig6_static_vs_tsf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_static_vs_tsf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

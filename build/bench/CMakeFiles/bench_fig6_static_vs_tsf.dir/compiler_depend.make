@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig6_static_vs_tsf.
+# This may be replaced when dependencies are built.

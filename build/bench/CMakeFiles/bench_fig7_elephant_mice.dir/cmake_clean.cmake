@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_elephant_mice.dir/bench_fig7_elephant_mice.cc.o"
+  "CMakeFiles/bench_fig7_elephant_mice.dir/bench_fig7_elephant_mice.cc.o.d"
+  "bench_fig7_elephant_mice"
+  "bench_fig7_elephant_mice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_elephant_mice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig7_elephant_mice.
+# This may be replaced when dependencies are built.

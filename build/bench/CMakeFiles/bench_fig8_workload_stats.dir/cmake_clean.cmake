@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_workload_stats.dir/bench_fig8_workload_stats.cc.o"
+  "CMakeFiles/bench_fig8_workload_stats.dir/bench_fig8_workload_stats.cc.o.d"
+  "bench_fig8_workload_stats"
+  "bench_fig8_workload_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_workload_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libtsf_bench_common.a"
+  "../lib/libtsf_bench_common.pdb"
+  "CMakeFiles/tsf_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/tsf_bench_common.dir/bench_common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsf_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

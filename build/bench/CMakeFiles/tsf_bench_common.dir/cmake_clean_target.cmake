@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libtsf_bench_common.a"
+)

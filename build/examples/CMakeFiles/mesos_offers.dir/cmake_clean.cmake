@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesos_offers.dir/mesos_offers.cpp.o"
+  "CMakeFiles/mesos_offers.dir/mesos_offers.cpp.o.d"
+  "mesos_offers"
+  "mesos_offers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesos_offers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

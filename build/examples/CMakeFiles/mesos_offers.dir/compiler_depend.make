@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mesos_offers.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allocation.cc" "src/core/CMakeFiles/tsf_core.dir/allocation.cc.o" "gcc" "src/core/CMakeFiles/tsf_core.dir/allocation.cc.o.d"
+  "/root/repo/src/core/cluster.cc" "src/core/CMakeFiles/tsf_core.dir/cluster.cc.o" "gcc" "src/core/CMakeFiles/tsf_core.dir/cluster.cc.o.d"
+  "/root/repo/src/core/constraint.cc" "src/core/CMakeFiles/tsf_core.dir/constraint.cc.o" "gcc" "src/core/CMakeFiles/tsf_core.dir/constraint.cc.o.d"
+  "/root/repo/src/core/offline/multiclass.cc" "src/core/CMakeFiles/tsf_core.dir/offline/multiclass.cc.o" "gcc" "src/core/CMakeFiles/tsf_core.dir/offline/multiclass.cc.o.d"
+  "/root/repo/src/core/offline/policies.cc" "src/core/CMakeFiles/tsf_core.dir/offline/policies.cc.o" "gcc" "src/core/CMakeFiles/tsf_core.dir/offline/policies.cc.o.d"
+  "/root/repo/src/core/offline/progressive_filling.cc" "src/core/CMakeFiles/tsf_core.dir/offline/progressive_filling.cc.o" "gcc" "src/core/CMakeFiles/tsf_core.dir/offline/progressive_filling.cc.o.d"
+  "/root/repo/src/core/offline/properties.cc" "src/core/CMakeFiles/tsf_core.dir/offline/properties.cc.o" "gcc" "src/core/CMakeFiles/tsf_core.dir/offline/properties.cc.o.d"
+  "/root/repo/src/core/offline/weights.cc" "src/core/CMakeFiles/tsf_core.dir/offline/weights.cc.o" "gcc" "src/core/CMakeFiles/tsf_core.dir/offline/weights.cc.o.d"
+  "/root/repo/src/core/online/scheduler.cc" "src/core/CMakeFiles/tsf_core.dir/online/scheduler.cc.o" "gcc" "src/core/CMakeFiles/tsf_core.dir/online/scheduler.cc.o.d"
+  "/root/repo/src/core/paper_examples.cc" "src/core/CMakeFiles/tsf_core.dir/paper_examples.cc.o" "gcc" "src/core/CMakeFiles/tsf_core.dir/paper_examples.cc.o.d"
+  "/root/repo/src/core/resource.cc" "src/core/CMakeFiles/tsf_core.dir/resource.cc.o" "gcc" "src/core/CMakeFiles/tsf_core.dir/resource.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tsf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/tsf_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

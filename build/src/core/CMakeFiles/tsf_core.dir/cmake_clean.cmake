@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsf_core.dir/allocation.cc.o"
+  "CMakeFiles/tsf_core.dir/allocation.cc.o.d"
+  "CMakeFiles/tsf_core.dir/cluster.cc.o"
+  "CMakeFiles/tsf_core.dir/cluster.cc.o.d"
+  "CMakeFiles/tsf_core.dir/constraint.cc.o"
+  "CMakeFiles/tsf_core.dir/constraint.cc.o.d"
+  "CMakeFiles/tsf_core.dir/offline/multiclass.cc.o"
+  "CMakeFiles/tsf_core.dir/offline/multiclass.cc.o.d"
+  "CMakeFiles/tsf_core.dir/offline/policies.cc.o"
+  "CMakeFiles/tsf_core.dir/offline/policies.cc.o.d"
+  "CMakeFiles/tsf_core.dir/offline/progressive_filling.cc.o"
+  "CMakeFiles/tsf_core.dir/offline/progressive_filling.cc.o.d"
+  "CMakeFiles/tsf_core.dir/offline/properties.cc.o"
+  "CMakeFiles/tsf_core.dir/offline/properties.cc.o.d"
+  "CMakeFiles/tsf_core.dir/offline/weights.cc.o"
+  "CMakeFiles/tsf_core.dir/offline/weights.cc.o.d"
+  "CMakeFiles/tsf_core.dir/online/scheduler.cc.o"
+  "CMakeFiles/tsf_core.dir/online/scheduler.cc.o.d"
+  "CMakeFiles/tsf_core.dir/paper_examples.cc.o"
+  "CMakeFiles/tsf_core.dir/paper_examples.cc.o.d"
+  "CMakeFiles/tsf_core.dir/resource.cc.o"
+  "CMakeFiles/tsf_core.dir/resource.cc.o.d"
+  "libtsf_core.a"
+  "libtsf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

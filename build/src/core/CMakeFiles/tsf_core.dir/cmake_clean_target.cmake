@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtsf_core.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsf_lp.dir/simplex.cc.o"
+  "CMakeFiles/tsf_lp.dir/simplex.cc.o.d"
+  "libtsf_lp.a"
+  "libtsf_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsf_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

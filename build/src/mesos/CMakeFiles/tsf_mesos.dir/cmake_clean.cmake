@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsf_mesos.dir/mesos.cc.o"
+  "CMakeFiles/tsf_mesos.dir/mesos.cc.o.d"
+  "libtsf_mesos.a"
+  "libtsf_mesos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsf_mesos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

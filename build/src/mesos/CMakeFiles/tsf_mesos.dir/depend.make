@@ -1,0 +1,2 @@
+# Empty dependencies file for tsf_mesos.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/des.cc" "src/sim/CMakeFiles/tsf_sim.dir/des.cc.o" "gcc" "src/sim/CMakeFiles/tsf_sim.dir/des.cc.o.d"
+  "/root/repo/src/sim/runner.cc" "src/sim/CMakeFiles/tsf_sim.dir/runner.cc.o" "gcc" "src/sim/CMakeFiles/tsf_sim.dir/runner.cc.o.d"
+  "/root/repo/src/sim/slots.cc" "src/sim/CMakeFiles/tsf_sim.dir/slots.cc.o" "gcc" "src/sim/CMakeFiles/tsf_sim.dir/slots.cc.o.d"
+  "/root/repo/src/sim/workload.cc" "src/sim/CMakeFiles/tsf_sim.dir/workload.cc.o" "gcc" "src/sim/CMakeFiles/tsf_sim.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tsf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tsf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/tsf_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

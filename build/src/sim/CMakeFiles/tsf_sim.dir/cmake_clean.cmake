@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsf_sim.dir/des.cc.o"
+  "CMakeFiles/tsf_sim.dir/des.cc.o.d"
+  "CMakeFiles/tsf_sim.dir/runner.cc.o"
+  "CMakeFiles/tsf_sim.dir/runner.cc.o.d"
+  "CMakeFiles/tsf_sim.dir/slots.cc.o"
+  "CMakeFiles/tsf_sim.dir/slots.cc.o.d"
+  "CMakeFiles/tsf_sim.dir/workload.cc.o"
+  "CMakeFiles/tsf_sim.dir/workload.cc.o.d"
+  "libtsf_sim.a"
+  "libtsf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsf_stats.dir/cdf.cc.o"
+  "CMakeFiles/tsf_stats.dir/cdf.cc.o.d"
+  "CMakeFiles/tsf_stats.dir/table.cc.o"
+  "CMakeFiles/tsf_stats.dir/table.cc.o.d"
+  "libtsf_stats.a"
+  "libtsf_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsf_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

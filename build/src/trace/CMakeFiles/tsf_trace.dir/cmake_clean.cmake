@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsf_trace.dir/google.cc.o"
+  "CMakeFiles/tsf_trace.dir/google.cc.o.d"
+  "CMakeFiles/tsf_trace.dir/io.cc.o"
+  "CMakeFiles/tsf_trace.dir/io.cc.o.d"
+  "libtsf_trace.a"
+  "libtsf_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsf_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsf_util.dir/check.cc.o"
+  "CMakeFiles/tsf_util.dir/check.cc.o.d"
+  "CMakeFiles/tsf_util.dir/flags.cc.o"
+  "CMakeFiles/tsf_util.dir/flags.cc.o.d"
+  "CMakeFiles/tsf_util.dir/log.cc.o"
+  "CMakeFiles/tsf_util.dir/log.cc.o.d"
+  "CMakeFiles/tsf_util.dir/thread_pool.cc.o"
+  "CMakeFiles/tsf_util.dir/thread_pool.cc.o.d"
+  "libtsf_util.a"
+  "libtsf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

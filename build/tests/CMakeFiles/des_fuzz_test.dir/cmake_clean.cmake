@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/des_fuzz_test.dir/des_fuzz_test.cc.o"
+  "CMakeFiles/des_fuzz_test.dir/des_fuzz_test.cc.o.d"
+  "des_fuzz_test"
+  "des_fuzz_test.pdb"
+  "des_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/des_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_scheduler_test.dir/online_scheduler_test.cc.o"
+  "CMakeFiles/online_scheduler_test.dir/online_scheduler_test.cc.o.d"
+  "online_scheduler_test"
+  "online_scheduler_test.pdb"
+  "online_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/progressive_filling_test.dir/progressive_filling_test.cc.o"
+  "CMakeFiles/progressive_filling_test.dir/progressive_filling_test.cc.o.d"
+  "progressive_filling_test"
+  "progressive_filling_test.pdb"
+  "progressive_filling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/progressive_filling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

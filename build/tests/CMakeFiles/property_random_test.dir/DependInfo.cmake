@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property_random_test.cc" "tests/CMakeFiles/property_random_test.dir/property_random_test.cc.o" "gcc" "tests/CMakeFiles/property_random_test.dir/property_random_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tsf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/tsf_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tsf_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tsf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tsf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tsf_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesos/CMakeFiles/tsf_mesos.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

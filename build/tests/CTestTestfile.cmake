@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/lp_test[1]_include.cmake")
+include("/root/repo/build/tests/resource_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/progressive_filling_test[1]_include.cmake")
+include("/root/repo/build/tests/policies_test[1]_include.cmake")
+include("/root/repo/build/tests/properties_test[1]_include.cmake")
+include("/root/repo/build/tests/property_random_test[1]_include.cmake")
+include("/root/repo/build/tests/online_scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/des_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/mesos_test[1]_include.cmake")
+include("/root/repo/build/tests/weights_test[1]_include.cmake")
+include("/root/repo/build/tests/slots_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_io_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/allocation_test[1]_include.cmake")
+include("/root/repo/build/tests/des_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/multiclass_test[1]_include.cmake")
