@@ -63,6 +63,12 @@ ResourceVector Cluster::NormalizedDemand(const ResourceVector& demand) const {
 
 DynamicBitset Cluster::Eligibility(const Constraint& constraint) const {
   DynamicBitset bits(machines_.size());
+  // Unconstrained jobs are common (Fig. 8a: ~20 % can run anywhere); skip
+  // the per-machine attribute probes for them.
+  if (constraint.kind() == Constraint::Kind::kNone) {
+    bits.SetAll();
+    return bits;
+  }
   for (const Machine& machine : machines_)
     if (constraint.Allows(machine.id, machine.attributes)) bits.Set(machine.id);
   return bits;

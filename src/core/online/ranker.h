@@ -1,0 +1,106 @@
+// Incremental share-ranking machinery shared by the online scheduler and the
+// Mesos-like offer allocator.
+//
+// Every non-FIFO policy's progress key factors as `running × coeff` with a
+// per-user coefficient that is fixed at registration time:
+//
+//   DRF   coeff = MaxComponent(d_i) / w_i   (dominant share per task)
+//   CDRF  coeff = 1 / (g_i · w_i)
+//   CMMF  coeff = d_i[r] / w_i
+//   TSF   coeff = 1 / (h_i · w_i)
+//
+// Caching the coefficient turns key maintenance into one multiply per
+// running-count change, and selection into a min-heap ordered by (key, id)
+// — the same "re-rank only the touched client" trick Mesos's DRF sorter
+// uses. RankHeap is that heap: a binary min-heap over (key, id) pairs with
+// lazy invalidation (a popped entry whose stored key is stale is re-pushed
+// at the current key; keys only grow within a serve phase, so the stored
+// key is always a lower bound and the true minimum is never popped late).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/online/policy.h"
+#include "core/resource.h"
+#include "util/check.h"
+
+namespace tsf {
+
+// The per-user key coefficient under `policy` (see table above). FIFO has no
+// running-dependent key — callers rank FIFO users by id — so it gets 0.
+inline double ShareCoefficient(const OnlinePolicy& policy,
+                               const ResourceVector& demand, double weight,
+                               double h, double g) {
+  switch (policy.kind) {
+    case OnlinePolicy::Kind::kFifo:
+      return 0.0;
+    case OnlinePolicy::Kind::kDrf:
+      return demand.MaxComponent() / weight;
+    case OnlinePolicy::Kind::kCdrf:
+      return 1.0 / (g * weight);
+    case OnlinePolicy::Kind::kCmmf:
+      return demand[policy.resource] / weight;
+    case OnlinePolicy::Kind::kTsf:
+      return 1.0 / (h * weight);
+  }
+  TSF_CHECK(false) << "unreachable";
+}
+
+struct RankEntry {
+  double key = 0.0;
+  std::size_t id = 0;
+};
+
+// Binary min-heap over (key, id), ties broken by lower id (arrival order) —
+// the exact selection rule of the former linear scans. Callers keep at most
+// one live entry per id and re-push after the key changes.
+class RankHeap {
+ public:
+  bool Empty() const { return heap_.empty(); }
+  std::size_t Size() const { return heap_.size(); }
+
+  void Clear() { heap_.clear(); }
+  void Reserve(std::size_t n) { heap_.reserve(n); }
+
+  void Push(double key, std::size_t id) {
+    heap_.push_back(RankEntry{key, id});
+    std::push_heap(heap_.begin(), heap_.end(), After);
+  }
+
+  RankEntry PopMin() {
+    TSF_DCHECK(!heap_.empty());
+    std::pop_heap(heap_.begin(), heap_.end(), After);
+    const RankEntry min = heap_.back();
+    heap_.pop_back();
+    return min;
+  }
+
+  // Bulk-load (O(n) heapify); replaces current contents.
+  void Assign(std::vector<RankEntry> entries) {
+    heap_ = std::move(entries);
+    std::make_heap(heap_.begin(), heap_.end(), After);
+  }
+
+  // Bulk-build protocol that reuses the heap's storage across phases:
+  // Clear() once, PushUnordered() per entry, Heapify() before the first
+  // PopMin.
+  void PushUnordered(double key, std::size_t id) {
+    heap_.push_back(RankEntry{key, id});
+  }
+  void Heapify() { std::make_heap(heap_.begin(), heap_.end(), After); }
+
+ private:
+  // std:: heap algorithms build a max-heap w.r.t. the comparator, so "a
+  // ranks after b" yields a min-heap on (key, id).
+  static bool After(const RankEntry& a, const RankEntry& b) {
+    if (a.key != b.key) return a.key > b.key;
+    return a.id > b.id;
+  }
+
+  std::vector<RankEntry> heap_;
+};
+
+}  // namespace tsf

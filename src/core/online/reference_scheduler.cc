@@ -1,0 +1,173 @@
+#include "core/online/reference_scheduler.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/online/ranker.h"
+#include "util/check.h"
+
+namespace tsf {
+
+ReferenceScheduler::ReferenceScheduler(
+    std::vector<ResourceVector> machine_capacity, OnlinePolicy policy)
+    : policy_(std::move(policy)),
+      free_(std::move(machine_capacity)),
+      machine_users_(free_.size()) {
+  TSF_CHECK(!free_.empty());
+}
+
+UserId ReferenceScheduler::AddUser(OnlineUserSpec spec) {
+  TSF_CHECK_EQ(spec.eligible.size(), free_.size());
+  TSF_CHECK(spec.eligible.Any());
+  TSF_CHECK_GT(spec.weight, 0.0);
+  TSF_CHECK_GT(spec.h, 0.0);
+  TSF_CHECK_GT(spec.g, 0.0);
+
+  const UserId id = users_.size();
+  User user;
+  user.demand = std::move(spec.demand);
+  user.eligible = std::move(spec.eligible);
+  user.weight = spec.weight;
+  user.h = spec.h;
+  user.g = spec.g;
+  user.pending = spec.pending;
+  users_.push_back(std::move(user));
+  users_[id].eligible.ForEachSet(
+      [&](std::size_t m) { machine_users_[m].push_back(id); });
+  return id;
+}
+
+void ReferenceScheduler::AddPending(UserId user, long count) {
+  TSF_CHECK_LT(user, users_.size());
+  TSF_CHECK_GE(count, 0);
+  TSF_CHECK(!users_[user].retired);
+  users_[user].pending += count;
+}
+
+void ReferenceScheduler::OnTaskFinish(UserId user, MachineId machine) {
+  User& u = users_[user];
+  TSF_CHECK_GT(u.running, 0);
+  TSF_CHECK(u.eligible.Test(machine));
+  --u.running;
+  free_[machine] += u.demand;
+}
+
+void ReferenceScheduler::Retire(UserId user) {
+  TSF_CHECK_LT(user, users_.size());
+  users_[user].retired = true;
+}
+
+double ReferenceScheduler::Key(UserId user) const {
+  const User& u = users_[user];
+  if (policy_.kind == OnlinePolicy::Kind::kFifo)
+    return static_cast<double>(user);  // arrival order
+  // Recomputed from first principles on every call — deliberately naive.
+  return static_cast<double>(u.running) *
+         ShareCoefficient(policy_, u.demand, u.weight, u.h, u.g);
+}
+
+bool ReferenceScheduler::TryPlace(UserId user, MachineId machine) {
+  User& u = users_[user];
+  if (u.pending <= 0) return false;
+  if (!free_[machine].Fits(u.demand)) return false;
+  free_[machine] -= u.demand;
+  --u.pending;
+  ++u.running;
+  return true;
+}
+
+void ReferenceScheduler::PlaceUserGreedy(
+    UserId user, const std::function<void(MachineId)>& on_place) {
+  User& u = users_[user];
+  if (u.pending <= 0) return;
+  // First-fit over eligible machines in index order; keeps iterating every
+  // set bit even after the queue drains (the incremental core stops early).
+  bool more = true;
+  u.eligible.ForEachSet([&](std::size_t m) {
+    if (!more) return;
+    while (TryPlace(user, m)) on_place(m);
+    if (u.pending <= 0) more = false;
+  });
+}
+
+void ReferenceScheduler::PlaceUsersInterleaved(
+    const std::vector<UserId>& users,
+    const std::function<void(UserId, MachineId)>& on_place) {
+  if (users.size() == 1) {
+    const UserId user = users.front();
+    PlaceUserGreedy(user, [&](MachineId m) { on_place(user, m); });
+    return;
+  }
+
+  struct Cursor {
+    UserId user = 0;
+    std::vector<MachineId> machines;
+    std::size_t next = 0;
+    bool exhausted() const { return next >= machines.size(); }
+  };
+  std::vector<Cursor> cursors;
+  cursors.reserve(users.size());
+  for (const UserId user : users) {
+    TSF_CHECK_LT(user, users_.size());
+    Cursor cursor;
+    cursor.user = user;
+    users_[user].eligible.ForEachSet(
+        [&](std::size_t m) { cursor.machines.push_back(m); });
+    cursors.push_back(std::move(cursor));
+  }
+
+  // Full linear rescan per placement (the spec the heap must match).
+  for (;;) {
+    Cursor* best = nullptr;
+    double best_key = std::numeric_limits<double>::infinity();
+    for (Cursor& cursor : cursors) {
+      if (cursor.exhausted() || users_[cursor.user].pending <= 0) continue;
+      const double key = Key(cursor.user);
+      if (key < best_key ||
+          (key == best_key && best != nullptr && cursor.user < best->user)) {
+        best_key = key;
+        best = &cursor;
+      }
+    }
+    if (best == nullptr) return;
+    const User& u = users_[best->user];
+    while (!best->exhausted() &&
+           !free_[best->machines[best->next]].Fits(u.demand))
+      ++best->next;
+    if (best->exhausted()) continue;  // permanently out of this phase
+    const MachineId machine = best->machines[best->next];
+    TSF_CHECK(TryPlace(best->user, machine));
+    on_place(best->user, machine);
+  }
+}
+
+void ReferenceScheduler::ServeMachine(
+    MachineId machine, const std::function<void(UserId, MachineId)>& on_place) {
+  std::vector<UserId>& candidates = machine_users_[machine];
+
+  candidates.erase(std::remove_if(candidates.begin(), candidates.end(),
+                                  [this](UserId id) { return users_[id].retired; }),
+                   candidates.end());
+
+  // Serve ascending key, re-selecting by full rescan after every placement.
+  for (;;) {
+    UserId best = std::numeric_limits<UserId>::max();
+    double best_key = std::numeric_limits<double>::infinity();
+    for (const UserId id : candidates) {
+      const User& u = users_[id];
+      if (u.pending <= 0) continue;
+      if (!free_[machine].Fits(u.demand)) continue;
+      const double key = Key(id);
+      // Tie-break by id (arrival order) for determinism.
+      if (key < best_key || (key == best_key && id < best)) {
+        best_key = key;
+        best = id;
+      }
+    }
+    if (best == std::numeric_limits<UserId>::max()) return;
+    TSF_CHECK(TryPlace(best, machine));
+    on_place(best, machine);
+  }
+}
+
+}  // namespace tsf

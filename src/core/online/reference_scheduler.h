@@ -1,0 +1,80 @@
+// Naive reference implementation of the online scheduler — the executable
+// spec the incremental core (core/online/scheduler.h) is differentially
+// tested against.
+//
+// Same public API and the same key definition (running × ShareCoefficient,
+// so keys are bit-identical to the incremental core's cached ones), but
+// every selection is a full linear rescan of the candidates with the key
+// recomputed per comparison — exactly the pre-optimization control flow,
+// O(active users) per placement. Kept un-optimized on purpose: the
+// differential tests in tests/online_scheduler_test.cc and
+// tests/des_fuzz_test.cc assert that both cores emit identical placement
+// streams over randomized workloads for every policy.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/online/scheduler.h"
+
+namespace tsf {
+
+class ReferenceScheduler {
+ public:
+  ReferenceScheduler(std::vector<ResourceVector> machine_capacity,
+                     OnlinePolicy policy);
+
+  std::size_t num_machines() const { return free_.size(); }
+  std::size_t num_users() const { return users_.size(); }
+  const OnlinePolicy& policy() const { return policy_; }
+
+  UserId AddUser(OnlineUserSpec spec);
+  void AddPending(UserId user, long count);
+  void OnTaskFinish(UserId user, MachineId machine);
+  void Retire(UserId user);
+
+  void PlaceUserGreedy(UserId user,
+                       const std::function<void(MachineId)>& on_place);
+  void PlaceUsersInterleaved(
+      const std::vector<UserId>& users,
+      const std::function<void(UserId, MachineId)>& on_place);
+  void ServeMachine(MachineId machine,
+                    const std::function<void(UserId, MachineId)>& on_place);
+
+  long pending(UserId user) const { return users_[user].pending; }
+  long running(UserId user) const { return users_[user].running; }
+
+  // Naive full scan, matching this class's role as the executable spec.
+  bool HasPendingUsers() const {
+    for (const User& u : users_)
+      if (u.pending > 0) return true;
+    return false;
+  }
+
+  double Key(UserId user) const;
+
+  const ResourceVector& FreeCapacity(MachineId machine) const {
+    return free_[machine];
+  }
+
+ private:
+  struct User {
+    ResourceVector demand;
+    DynamicBitset eligible;
+    double weight = 1.0;
+    double h = 0.0;
+    double g = 0.0;
+    long pending = 0;
+    long running = 0;
+    bool retired = false;
+  };
+
+  bool TryPlace(UserId user, MachineId machine);
+
+  OnlinePolicy policy_;
+  std::vector<ResourceVector> free_;
+  std::vector<User> users_;
+  std::vector<std::vector<UserId>> machine_users_;
+};
+
+}  // namespace tsf

@@ -30,17 +30,34 @@ UserId OnlineScheduler::AddUser(OnlineUserSpec spec) {
   user.h = spec.h;
   user.g = spec.g;
   user.pending = spec.pending;
+  total_pending_ += spec.pending;
+  user.coeff = ShareCoefficient(policy_, user.demand, user.weight, user.h,
+                                user.g);
+  user.key = policy_.kind == OnlinePolicy::Kind::kFifo
+                 ? static_cast<double>(id)  // arrival order, never changes
+                 : 0.0;
   users_.push_back(std::move(user));
-  users_[id].eligible.ForEachSet(
-      [&](std::size_t m) { machine_users_[m].push_back(id); });
+  if (users_[id].pending > 0)
+    users_[id].eligible.ForEachSet(
+        [&](std::size_t m) { machine_users_[m].push_back(id); });
   return id;
 }
 
 void OnlineScheduler::AddPending(UserId user, long count) {
   TSF_CHECK_LT(user, users_.size());
   TSF_CHECK_GE(count, 0);
-  TSF_CHECK(!users_[user].retired);
-  users_[user].pending += count;
+  User& u = users_[user];
+  TSF_CHECK(!u.retired);
+  const bool was_drained = u.pending <= 0;
+  u.pending += count;
+  total_pending_ += count;
+  // Drained users fall out of the per-machine wait lists (see ServeMachine);
+  // put this one back now that it has work again. A not-yet-compacted stale
+  // entry just yields a duplicate, which the serve loop tolerates: the heap
+  // orders by (key, id), so duplicates pop as stale and re-rank harmlessly.
+  if (was_drained && u.pending > 0)
+    u.eligible.ForEachSet(
+        [&](std::size_t m) { machine_users_[m].push_back(user); });
 }
 
 void OnlineScheduler::OnTaskFinish(UserId user, MachineId machine) {
@@ -48,6 +65,7 @@ void OnlineScheduler::OnTaskFinish(UserId user, MachineId machine) {
   TSF_CHECK_GT(u.running, 0);
   TSF_CHECK(u.eligible.Test(machine));
   --u.running;
+  UpdateKey(u);
   free_[machine] += u.demand;
 }
 
@@ -56,23 +74,7 @@ void OnlineScheduler::Retire(UserId user) {
   users_[user].retired = true;
 }
 
-double OnlineScheduler::Key(UserId user) const {
-  const User& u = users_[user];
-  const auto n = static_cast<double>(u.running);
-  switch (policy_.kind) {
-    case OnlinePolicy::Kind::kFifo:
-      return static_cast<double>(user);  // arrival order
-    case OnlinePolicy::Kind::kDrf:
-      return n * u.demand.MaxComponent() / u.weight;
-    case OnlinePolicy::Kind::kCdrf:
-      return n / (u.g * u.weight);
-    case OnlinePolicy::Kind::kCmmf:
-      return n * u.demand[policy_.resource] / u.weight;
-    case OnlinePolicy::Kind::kTsf:
-      return n / (u.h * u.weight);
-  }
-  TSF_CHECK(false) << "unreachable";
-}
+double OnlineScheduler::Key(UserId user) const { return users_[user].key; }
 
 bool OnlineScheduler::TryPlace(UserId user, MachineId machine) {
   User& u = users_[user];
@@ -80,7 +82,9 @@ bool OnlineScheduler::TryPlace(UserId user, MachineId machine) {
   if (!free_[machine].Fits(u.demand)) return false;
   free_[machine] -= u.demand;
   --u.pending;
+  --total_pending_;
   ++u.running;
+  UpdateKey(u);
   return true;
 }
 
@@ -90,11 +94,9 @@ void OnlineScheduler::PlaceUserGreedy(
   if (u.pending <= 0) return;
   // First-fit over eligible machines in index order; stop early once the
   // queue drains.
-  bool more = true;
-  u.eligible.ForEachSet([&](std::size_t m) {
-    if (!more) return;
+  u.eligible.ForEachSetUntil([&](std::size_t m) {
     while (TryPlace(user, m)) on_place(m);
-    if (u.pending <= 0) more = false;
+    return u.pending <= 0;
   });
 }
 
@@ -126,61 +128,78 @@ void OnlineScheduler::PlaceUsersInterleaved(
         [&](std::size_t m) { cursor.machines.push_back(m); });
     cursors.push_back(std::move(cursor));
   }
+  // Ordered by user id, the heap's tie-break is cursor index == the old
+  // linear scan's "lowest user id wins" rule.
+  std::stable_sort(cursors.begin(), cursors.end(),
+                   [](const Cursor& a, const Cursor& b) { return a.user < b.user; });
 
-  for (;;) {
-    Cursor* best = nullptr;
-    double best_key = std::numeric_limits<double>::infinity();
-    for (Cursor& cursor : cursors) {
-      if (cursor.exhausted() || users_[cursor.user].pending <= 0) continue;
-      const double key = Key(cursor.user);
-      if (key < best_key ||
-          (key == best_key && best != nullptr && cursor.user < best->user)) {
-        best_key = key;
-        best = &cursor;
-      }
+  heap_.Clear();
+  heap_.Reserve(cursors.size());
+  for (std::size_t c = 0; c < cursors.size(); ++c)
+    if (users_[cursors[c].user].pending > 0)
+      heap_.PushUnordered(users_[cursors[c].user].key, c);
+  heap_.Heapify();
+
+  while (!heap_.Empty()) {
+    const RankEntry entry = heap_.PopMin();
+    Cursor& cursor = cursors[entry.id];
+    User& u = users_[cursor.user];
+    if (u.pending <= 0) continue;
+    if (entry.key != u.key) {  // stale entry: re-rank at the current key
+      heap_.Push(u.key, entry.id);
+      continue;
     }
-    if (best == nullptr) return;
-    const User& u = users_[best->user];
-    while (!best->exhausted() &&
-           !free_[best->machines[best->next]].Fits(u.demand))
-      ++best->next;
-    if (best->exhausted()) continue;  // permanently out of this phase
-    const MachineId machine = best->machines[best->next];
-    TSF_CHECK(TryPlace(best->user, machine));
-    on_place(best->user, machine);
+    while (!cursor.exhausted() &&
+           !free_[cursor.machines[cursor.next]].Fits(u.demand))
+      ++cursor.next;
+    if (cursor.exhausted()) continue;  // permanently out of this phase
+    const MachineId machine = cursor.machines[cursor.next];
+    TSF_CHECK(TryPlace(cursor.user, machine));
+    on_place(cursor.user, machine);
+    if (u.pending > 0) heap_.Push(u.key, entry.id);
   }
 }
 
 void OnlineScheduler::ServeMachine(
     MachineId machine, const std::function<void(UserId, MachineId)>& on_place) {
   std::vector<UserId>& candidates = machine_users_[machine];
+  if (candidates.empty()) return;  // nobody waiting on this machine
 
-  // Compact away retired users while we are here (amortized O(1) per user
-  // per machine over the whole run).
-  candidates.erase(std::remove_if(candidates.begin(), candidates.end(),
-                                  [this](UserId id) { return users_[id].retired; }),
-                   candidates.end());
+  // Build the min-heap and compact the wait list in one pass: retired or
+  // drained users drop out (AddPending re-registers a user that gets new
+  // tasks), users with work but no room right now stay listed for the next
+  // free-up. The scan is proportional to the machine's queue pressure, not
+  // to every user ever admitted.
+  heap_.Clear();
+  heap_.Reserve(candidates.size());
+  std::size_t keep = 0;
+  for (const UserId id : candidates) {
+    const User& u = users_[id];
+    if (u.retired || u.pending <= 0) continue;
+    candidates[keep++] = id;
+    if (free_[machine].Fits(u.demand)) heap_.PushUnordered(u.key, id);
+  }
+  candidates.resize(keep);
+  heap_.Heapify();
 
-  // Serve ascending key until no pending candidate fits. Keys change after
-  // every placement, so re-select each round; candidate lists are short
-  // relative to total work (placements dominate).
-  for (;;) {
-    UserId best = std::numeric_limits<UserId>::max();
-    double best_key = std::numeric_limits<double>::infinity();
-    for (const UserId id : candidates) {
-      const User& u = users_[id];
-      if (u.pending <= 0) continue;
-      if (!free_[machine].Fits(u.demand)) continue;
-      const double key = Key(id);
-      // Tie-break by id (arrival order) for determinism.
-      if (key < best_key || (key == best_key && id < best)) {
-        best_key = key;
-        best = id;
-      }
+  // Serve ascending (key, id). Capacity only shrinks and keys only grow
+  // within the phase, so a candidate that fails the fit test is out for
+  // good, and the heap invariant is maintained by re-pushing the served
+  // user at its raised key: O(log n) per placement instead of a rescan.
+
+  while (!heap_.Empty()) {
+    const RankEntry entry = heap_.PopMin();
+    const UserId id = entry.id;
+    User& u = users_[id];
+    if (u.pending <= 0) continue;
+    if (entry.key != u.key) {  // stale entry: re-rank at the current key
+      heap_.Push(u.key, id);
+      continue;
     }
-    if (best == std::numeric_limits<UserId>::max()) return;
-    TSF_CHECK(TryPlace(best, machine));
-    on_place(best, machine);
+    if (!free_[machine].Fits(u.demand)) continue;  // out for this phase
+    TSF_CHECK(TryPlace(id, machine));
+    on_place(id, machine);
+    if (u.pending > 0) heap_.Push(u.key, id);
   }
 }
 

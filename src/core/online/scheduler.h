@@ -15,12 +15,25 @@
 //
 // Time never appears here; the discrete-event simulator owns the clock and
 // calls these hooks.
+//
+// Selection is incremental: each user's progress key is `running × coeff`
+// with the coefficient cached at AddUser (see core/online/ranker.h), and
+// both serve loops pick the next user from a (key, id) min-heap instead of
+// rescanning every candidate — O(log n) per placement. ReferenceScheduler
+// (core/online/reference_scheduler.h) retains the original linear-scan
+// implementation as an executable spec; the differential tests assert
+// placement-for-placement identity between the two.
+//
+// The on_place callbacks must not mutate the scheduler (no AddUser /
+// AddPending / OnTaskFinish re-entry): both serve loops assume keys only
+// grow and capacity only shrinks within a phase.
 #pragma once
 
 #include <functional>
 #include <vector>
 
 #include "core/online/policy.h"
+#include "core/online/ranker.h"
 #include "core/resource.h"
 #include "util/bitset.h"
 
@@ -85,6 +98,11 @@ class OnlineScheduler {
   long pending(UserId user) const { return users_[user].pending; }
   long running(UserId user) const { return users_[user].running; }
 
+  // True if any user still has queued tasks. O(1): serving a machine when
+  // nothing is pending is a guaranteed no-op, so the simulator skips the
+  // call entirely.
+  bool HasPendingUsers() const { return total_pending_ > 0; }
+
   // Current progress key (lower = served first).
   double Key(UserId user) const;
 
@@ -101,17 +119,34 @@ class OnlineScheduler {
     double g = 0.0;
     long pending = 0;
     long running = 0;
+    // Cached key state: key == running * coeff for every non-FIFO policy
+    // (FIFO keys are the constant user id). Updated on every running-count
+    // change instead of recomputed per comparison.
+    double coeff = 0.0;
+    double key = 0.0;
     bool retired = false;
   };
 
   // True and debits resources if one task of `user` fits on `machine`.
   bool TryPlace(UserId user, MachineId machine);
 
+  void UpdateKey(User& u) {
+    if (policy_.kind != OnlinePolicy::Kind::kFifo)
+      u.key = static_cast<double>(u.running) * u.coeff;
+  }
+
   OnlinePolicy policy_;
   std::vector<ResourceVector> free_;
   std::vector<User> users_;
-  // Users eligible per machine (lazily compacted as users retire).
+  // Per-machine wait lists: users with queued tasks, eligible on the
+  // machine. Lazily compacted by ServeMachine as users drain or retire;
+  // AddPending re-registers a drained user that gets new tasks.
   std::vector<std::vector<UserId>> machine_users_;
+  // Scratch heap reused across serve phases (capacity persists).
+  RankHeap heap_;
+  // Sum of every user's pending count (retired users included; they only
+  // reach zero pending in normal retirement anyway).
+  long total_pending_ = 0;
 };
 
 }  // namespace tsf

@@ -4,6 +4,7 @@
 #include <limits>
 #include <queue>
 
+#include "core/online/ranker.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -30,6 +31,10 @@ struct FrameworkState {
   long running = 0;
   long finished = 0;
   double h = 0.0;
+  // Cached share-key state (core/online/ranker.h): key == running * coeff,
+  // updated on every launch/finish instead of recomputed per comparison.
+  double coeff = 0.0;
+  double key = 0.0;
   std::vector<bool> allowed;  // per slave
   FrameworkStats stats;
 
@@ -37,6 +42,7 @@ struct FrameworkState {
     return registered && finished < spec.num_tasks;
   }
   bool HasPending() const { return launched < spec.num_tasks; }
+  void UpdateKey() { key = static_cast<double>(running) * coeff; }
 };
 
 }  // namespace
@@ -122,24 +128,19 @@ SimOutcome RunCluster(const ClusterConfig& config,
     fw.stats.start_time = fw.spec.start_time;
     fw.stats.first_task_time = std::numeric_limits<double>::infinity();
     fw.stats.h = fw.h;
+    // Cache the share-key coefficient once per framework, reusing the
+    // online scheduler's ranker (kTsf → 1/(h·w); kDrf → dominant share of
+    // the normalized demand / w).
+    ResourceVector normalized_demand(resources);
+    for (std::size_t r = 0; r < resources; ++r)
+      if (total[r] > 0.0) normalized_demand[r] = fw.spec.demand[r] / total[r];
+    const OnlinePolicy ranker_policy = config.policy == AllocatorPolicy::kTsf
+                                           ? OnlinePolicy::Tsf()
+                                           : OnlinePolicy::Drf();
+    fw.coeff = ShareCoefficient(ranker_policy, normalized_demand,
+                                fw.spec.weight, fw.h, fw.h);
+    fw.UpdateKey();
   }
-
-  // Allocator share key (lower = offered first).
-  auto share_key = [&](const FrameworkState& fw) {
-    const auto n = static_cast<double>(fw.running);
-    switch (config.policy) {
-      case AllocatorPolicy::kTsf:
-        return n / (fw.h * fw.spec.weight);
-      case AllocatorPolicy::kDrf: {
-        double dominant = 0.0;
-        for (std::size_t r = 0; r < resources; ++r)
-          if (total[r] > 0.0)
-            dominant = std::max(dominant, fw.spec.demand[r] / total[r]);
-        return n * dominant / fw.spec.weight;
-      }
-    }
-    TSF_CHECK(false) << "unreachable";
-  };
 
   // How many frameworks may ever use each slave. The allocator steers a
   // framework toward its least-contended fitting slave, so flexible jobs
@@ -181,46 +182,51 @@ SimOutcome RunCluster(const ClusterConfig& config,
   // The master's allocation cycle, mirroring the mesos-master + paper's
   // online algorithm: repeatedly offer free resources to the framework with
   // the lowest share that can actually launch a task, launch *one* task,
-  // and re-rank (the Mesos sorter re-sorts after every allocation). Stops
-  // when no pending framework fits anywhere it is whitelisted.
+  // and re-rank. Like Mesos's DRF sorter, the re-rank touches only the
+  // launched framework: the others sit in a (key, id) min-heap, so each
+  // launch costs O(log frameworks) selection plus the slave probe. Within
+  // one cycle free capacity only shrinks, so a framework with no fitting
+  // whitelisted slave is dropped from the heap for the rest of the cycle.
+  RankHeap offer_heap;
   auto run_allocation = [&](double now) {
-    for (;;) {
-      std::size_t best = num_frameworks;
-      std::size_t best_slave = 0;
-      double best_key = std::numeric_limits<double>::infinity();
-      for (std::size_t f = 0; f < num_frameworks; ++f) {
-        FrameworkState& fw = frameworks[f];
-        if (!fw.Active() || !fw.HasPending()) continue;
-        const double key = share_key(fw);
-        if (key >= best_key) continue;
-        // Least-contended fitting slave for this framework.
-        std::size_t slave = num_slaves;
-        for (std::size_t s = 0; s < num_slaves; ++s) {
-          if (!fw.allowed[s] || !free[s].Fits(fw.spec.demand)) continue;
-          if (slave == num_slaves || contention[s] < contention[slave]) slave = s;
-        }
-        if (slave < num_slaves) {
-          best = f;
-          best_slave = slave;
-          best_key = key;
-        }
-      }
-      if (best == num_frameworks) return;
+    offer_heap.Clear();
+    offer_heap.Reserve(num_frameworks);
+    for (std::size_t f = 0; f < num_frameworks; ++f) {
+      const FrameworkState& fw = frameworks[f];
+      if (fw.Active() && fw.HasPending()) offer_heap.PushUnordered(fw.key, f);
+    }
+    offer_heap.Heapify();
 
-      // Launch exactly one task, then re-rank — the sorter re-sorts after
-      // every allocation, which is what keeps simultaneously-registered
-      // equal-share frameworks interleaved instead of letting the first one
-      // absorb a whole node.
-      FrameworkState& fw = frameworks[best];
-      free[best_slave] -= fw.spec.demand;
+    while (!offer_heap.Empty()) {
+      const RankEntry entry = offer_heap.PopMin();
+      FrameworkState& fw = frameworks[entry.id];
+      if (entry.key != fw.key) {  // stale entry: re-rank at the current key
+        offer_heap.Push(fw.key, entry.id);
+        continue;
+      }
+      // Least-contended fitting slave for this framework (see `contention`).
+      std::size_t slave = num_slaves;
+      for (std::size_t s = 0; s < num_slaves; ++s) {
+        if (!fw.allowed[s] || !free[s].Fits(fw.spec.demand)) continue;
+        if (slave == num_slaves || contention[s] < contention[slave]) slave = s;
+      }
+      if (slave == num_slaves) continue;  // out for the rest of this cycle
+
+      // Launch exactly one task, then re-rank — re-ranking after every
+      // allocation is what keeps simultaneously-registered equal-share
+      // frameworks interleaved instead of letting the first one absorb a
+      // whole node.
+      free[slave] -= fw.spec.demand;
       ++fw.launched;
       ++fw.running;
+      fw.UpdateKey();
       fw.stats.first_task_time = std::min(fw.stats.first_task_time, now);
       const double runtime = fw.spec.mean_runtime *
                              rng.Uniform(1.0 - fw.spec.runtime_jitter,
                                          1.0 + fw.spec.runtime_jitter);
-      events.push(Event{now + runtime, seq++, Event::Kind::kTaskFinish, best,
-                        best_slave});
+      events.push(Event{now + runtime, seq++, Event::Kind::kTaskFinish,
+                        entry.id, slave});
+      if (fw.HasPending()) offer_heap.Push(fw.key, entry.id);
     }
   };
 
@@ -248,6 +254,7 @@ SimOutcome RunCluster(const ClusterConfig& config,
           FrameworkState& fw = frameworks[event.framework];
           free[event.slave] += fw.spec.demand;
           --fw.running;
+          fw.UpdateKey();
           ++fw.finished;
           ++fw.stats.tasks_run;
           outcome.makespan = std::max(outcome.makespan, now);

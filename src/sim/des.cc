@@ -1,8 +1,8 @@
 #include "sim/des.h"
 
 #include <algorithm>
-#include <queue>
 
+#include "core/online/reference_scheduler.h"
 #include "core/online/scheduler.h"
 #include "util/check.h"
 
@@ -31,23 +31,107 @@ std::vector<double> SimResult::TaskQueueingDelays() const {
 
 namespace {
 
+// Task-finish event, 24 bytes. Arrivals never enter the queue (the job
+// list is already sorted by arrival time and is merged in as a second
+// stream), and finishes sharing a timestamp are applied as one batch whose
+// internal order is immaterial — capacity frees commute and the freed
+// machine set is sorted before serving — so no sequence tie-break or event
+// kind is needed. The narrow fields bound the workload at 2^32
+// jobs/machines/tasks, checked at simulation entry.
 struct Event {
   double time = 0.0;
-  std::uint64_t seq = 0;  // FIFO tie-break for simultaneous events
-  enum class Kind { kJobArrival, kTaskFinish } kind = Kind::kJobArrival;
-  std::size_t job = 0;
-  MachineId machine = 0;
-  std::size_t task_slot = 0;  // index into result.tasks, for kTaskFinish
-
-  bool operator>(const Event& other) const {
-    if (time != other.time) return time > other.time;
-    return seq > other.seq;
-  }
+  std::uint32_t job = 0;
+  std::uint32_t machine = 0;
+  std::uint32_t task_slot = 0;  // index into result.tasks
 };
 
-}  // namespace
+// 4-ary min-heap on time. Heap churn dominates the event loop (one push
+// and one pop per task), and against std::priority_queue's binary heap
+// this halves the sift depth while keeping all four children of a node in
+// one cache line; sifting moves a hole instead of swapping.
+class EventQueue {
+ public:
+  void Reserve(std::size_t n) { events_.reserve(n); }
+  bool Empty() const { return events_.empty(); }
+  const Event& Top() const { return events_.front(); }
 
-SimResult Simulate(const Workload& workload, const OnlinePolicy& policy) {
+  void Push(const Event& e) {
+    std::size_t i = events_.size();
+    events_.push_back(e);
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 4;
+      if (e.time >= events_[parent].time) break;
+      events_[i] = events_[parent];
+      i = parent;
+    }
+    events_[i] = e;
+  }
+
+  void Pop() {
+    const Event moved = events_.back();
+    events_.pop_back();
+    const std::size_t n = events_.size();
+    if (n == 0) return;
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first = 4 * i + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t last = std::min(first + 4, n);
+      for (std::size_t c = first + 1; c < last; ++c)
+        if (events_[c].time < events_[best].time) best = c;
+      if (events_[best].time >= moved.time) break;
+      events_[i] = events_[best];
+      i = best;
+    }
+    events_[i] = moved;
+  }
+
+ private:
+  std::vector<Event> events_;
+};
+
+// Structural equality; Constraint deliberately has no operator== of its own.
+bool SameConstraint(const Constraint& a, const Constraint& b) {
+  return a.kind() == b.kind() &&
+         a.required_attributes().ids() == b.required_attributes().ids() &&
+         a.machine_list() == b.machine_list();
+}
+
+// Machines grouped by identical normalized capacity vector. The Google
+// config mix has only a handful of distinct shapes, so the per-arrival
+// monopoly-count sweep (h_i over all machines, g_i over the eligible set)
+// collapses from O(machines) DivisibleTaskCount calls to O(distinct
+// configs) calls plus one AND-popcount per config.
+struct CapacityGroup {
+  ResourceVector capacity;  // normalized, shared by all members
+  DynamicBitset members;    // over the cluster's machines
+  double count = 0.0;       // members.Count(), as the multiplier
+};
+
+std::vector<CapacityGroup> GroupByCapacity(
+    const std::vector<ResourceVector>& capacity) {
+  std::vector<CapacityGroup> groups;
+  for (std::size_t m = 0; m < capacity.size(); ++m) {
+    CapacityGroup* group = nullptr;
+    for (CapacityGroup& g : groups)
+      if (g.capacity == capacity[m]) {
+        group = &g;
+        break;
+      }
+    if (group == nullptr) {
+      groups.push_back(CapacityGroup{capacity[m],
+                                     DynamicBitset(capacity.size()), 0.0});
+      group = &groups.back();
+    }
+    group->members.Set(m);
+    group->count += 1.0;
+  }
+  return groups;
+}
+
+template <class Scheduler>
+SimResult SimulateWith(const Workload& workload, const OnlinePolicy& policy) {
   const Cluster& cluster = workload.cluster;
   TSF_CHECK_GT(cluster.num_machines(), 0u);
   for (std::size_t j = 1; j < workload.jobs.size(); ++j)
@@ -58,19 +142,37 @@ SimResult Simulate(const Workload& workload, const OnlinePolicy& policy) {
   SimResult result;
   result.policy = policy.name;
   result.jobs.resize(workload.jobs.size());
+  // Tasks are written straight into their (job, index) slot as they are
+  // scheduled, so the result needs no final sort to align across policies.
   std::size_t total_tasks = 0;
-  for (const SimJob& job : workload.jobs) {
+  std::vector<std::size_t> job_task_offset(workload.jobs.size(), 0);
+  for (std::size_t j = 0; j < workload.jobs.size(); ++j) {
+    const SimJob& job = workload.jobs[j];
     TSF_CHECK_EQ(static_cast<std::size_t>(job.spec.num_tasks),
                  job.task_runtimes.size());
+    job_task_offset[j] = total_tasks;
     total_tasks += job.task_runtimes.size();
   }
-  result.tasks.reserve(total_tasks);
+  result.tasks.resize(total_tasks);
 
   std::vector<ResourceVector> capacity;
   capacity.reserve(cluster.num_machines());
   for (MachineId m = 0; m < cluster.num_machines(); ++m)
     capacity.push_back(cluster.NormalizedCapacity(m));
-  OnlineScheduler scheduler(std::move(capacity), policy);
+  const std::vector<CapacityGroup> config_groups = GroupByCapacity(capacity);
+  Scheduler scheduler(std::move(capacity), policy);
+
+  // Workloads draw constraints from a small pool (a handful of attribute
+  // combos in the Google mix), so compile each distinct constraint once and
+  // reuse the bitset instead of probing every machine per arrival.
+  std::vector<std::pair<const Constraint*, DynamicBitset>> eligibility_memo;
+  auto eligibility_for = [&](const Constraint& constraint) {
+    for (const auto& [cached, bits] : eligibility_memo)
+      if (SameConstraint(*cached, constraint)) return bits;
+    eligibility_memo.emplace_back(&constraint,
+                                  cluster.Eligibility(constraint));
+    return eligibility_memo.back().second;
+  };
 
   // Per-job simulation state.
   struct JobState {
@@ -81,90 +183,110 @@ SimResult Simulate(const Workload& workload, const OnlinePolicy& policy) {
   };
   std::vector<JobState> state(workload.jobs.size());
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
-  std::uint64_t seq = 0;
+  // One finish event per task is ever queued; arrivals stream from the
+  // (sorted) job list instead of transiting the heap.
+  TSF_CHECK_LT(workload.jobs.size() + total_tasks, std::size_t{UINT32_MAX});
+  EventQueue events;
+  events.Reserve(total_tasks);
   for (std::size_t j = 0; j < workload.jobs.size(); ++j) {
-    events.push(Event{workload.jobs[j].spec.arrival_time, seq++,
-                      Event::Kind::kJobArrival, j, 0, 0});
     result.jobs[j].arrival = workload.jobs[j].spec.arrival_time;
     result.jobs[j].num_tasks = workload.jobs[j].spec.num_tasks;
   }
 
+  // The batch clock; declared ahead of the callbacks below so they can
+  // capture it by reference and be constructed once instead of per event.
+  double now = 0.0;
+  std::size_t tasks_placed = 0;
+
   // Places one task of job j on machine m at `now`: records metrics and
   // enqueues its completion. The scheduler has already debited resources.
-  auto record_placement = [&](std::size_t j, MachineId m, double now) {
+  auto record_placement = [&](std::size_t j, MachineId m) {
     JobState& js = state[j];
     const SimJob& job = workload.jobs[j];
     TSF_CHECK_LT(static_cast<std::size_t>(js.next_task),
                  job.task_runtimes.size());
     const long index = js.next_task++;
-    TaskRecord task;
+    const std::size_t slot =
+        job_task_offset[j] + static_cast<std::size_t>(index);
+    TaskRecord& task = result.tasks[slot];
     task.job = j;
     task.index = index;
     task.submit = job.spec.arrival_time;
     task.schedule = now;
     task.finish = now + job.task_runtimes[static_cast<std::size_t>(index)];
-    const std::size_t slot = result.tasks.size();
-    result.tasks.push_back(task);
+    ++tasks_placed;
     result.jobs[j].first_schedule = std::min(result.jobs[j].first_schedule, now);
-    events.push(
-        Event{task.finish, seq++, Event::Kind::kTaskFinish, j, m, slot});
+    events.Push(Event{task.finish, static_cast<std::uint32_t>(j),
+                      static_cast<std::uint32_t>(m),
+                      static_cast<std::uint32_t>(slot)});
   };
 
   // Scheduler user id → job index (users are added in arrival order).
   std::vector<std::size_t> user_to_job;
   user_to_job.reserve(workload.jobs.size());
 
+  // Constructed once; `now` is captured by reference (see above).
+  const std::function<void(UserId, MachineId)> on_place =
+      [&](UserId user, MachineId machine) {
+        record_placement(user_to_job[user], machine);
+      };
+
   // Events sharing a timestamp are applied as a batch before any
   // scheduling: otherwise jobs submitted "at the same time" would be
   // allocated one after another and the first would monopolize the idle
-  // cluster for a whole (non-preemptible) task wave.
+  // cluster for a whole (non-preemptible) task wave. Arrivals merge in
+  // from the sorted job list; batch-mates register (in arrival order)
+  // before any finish is applied, matching the former single-queue order.
   std::vector<MachineId> freed_machines;
   std::vector<UserId> arrived_users;
-  while (!events.empty()) {
-    const double now = events.top().time;
+  std::size_t next_arrival = 0;
+  while (next_arrival < workload.jobs.size() || !events.Empty()) {
+    now = next_arrival < workload.jobs.size()
+              ? workload.jobs[next_arrival].spec.arrival_time
+              : events.Top().time;
+    if (!events.Empty()) now = std::min(now, events.Top().time);
     freed_machines.clear();
     arrived_users.clear();
 
-    while (!events.empty() && events.top().time == now) {
-      const Event event = events.top();
-      events.pop();
-
-      if (event.kind == Event::Kind::kJobArrival) {
-        const SimJob& job = workload.jobs[event.job];
-        OnlineUserSpec spec;
-        spec.demand = cluster.NormalizedDemand(job.spec.demand);
-        spec.eligible = cluster.Eligibility(job.spec.constraint);
-        TSF_CHECK(spec.eligible.Any())
-            << "job " << job.spec.name << " has no eligible machine";
-        spec.weight = job.spec.weight;
-        bool fits_somewhere = false;
-        spec.eligible.ForEachSet([&](std::size_t m) {
-          fits_somewhere = fits_somewhere ||
-                           cluster.machine(m).capacity.Fits(job.spec.demand);
-        });
-        TSF_CHECK(fits_somewhere)
-            << "job " << job.spec.name
-            << ": no eligible machine can hold one task — it would never finish";
-        spec.h = 0.0;
-        spec.g = 0.0;
-        for (MachineId m = 0; m < cluster.num_machines(); ++m) {
-          const double tasks =
-              cluster.NormalizedCapacity(m).DivisibleTaskCount(spec.demand);
-          spec.h += tasks;
-          if (spec.eligible.Test(m)) spec.g += tasks;
-        }
-        spec.pending = job.spec.num_tasks;
-        JobState& js = state[event.job];
-        js.user = scheduler.AddUser(std::move(spec));
-        js.arrived = true;
-        user_to_job.push_back(event.job);
-        TSF_CHECK_EQ(user_to_job.size(), js.user + 1);
-        arrived_users.push_back(js.user);
-        continue;
+    while (next_arrival < workload.jobs.size() &&
+           workload.jobs[next_arrival].spec.arrival_time == now) {
+      const std::size_t j = next_arrival++;
+      const SimJob& job = workload.jobs[j];
+      OnlineUserSpec spec;
+      spec.demand = cluster.NormalizedDemand(job.spec.demand);
+      spec.eligible = eligibility_for(job.spec.constraint);
+      TSF_CHECK(spec.eligible.Any())
+          << "job " << job.spec.name << " has no eligible machine";
+      spec.weight = job.spec.weight;
+      const bool fits_somewhere =
+          spec.eligible.ForEachSetUntil([&](std::size_t m) {
+            return cluster.machine(m).capacity.Fits(job.spec.demand);
+          });
+      TSF_CHECK(fits_somewhere)
+          << "job " << job.spec.name
+          << ": no eligible machine can hold one task — it would never finish";
+      spec.h = 0.0;
+      spec.g = 0.0;
+      for (const CapacityGroup& group : config_groups) {
+        const double tasks = group.capacity.DivisibleTaskCount(spec.demand);
+        spec.h += group.count * tasks;
+        const auto eligible_members =
+            static_cast<double>(spec.eligible.CountAnd(group.members));
+        if (eligible_members > 0.0) spec.g += eligible_members * tasks;
       }
+      spec.pending = job.spec.num_tasks;
+      JobState& js = state[j];
+      js.user = scheduler.AddUser(std::move(spec));
+      js.arrived = true;
+      user_to_job.push_back(j);
+      TSF_CHECK_EQ(user_to_job.size(), js.user + 1);
+      arrived_users.push_back(js.user);
+    }
 
+    while (!events.Empty() && events.Top().time == now) {
       // Task completion: free resources now, schedule after the batch.
+      const Event event = events.Top();
+      events.Pop();
       const std::size_t j = event.job;
       JobState& js = state[j];
       scheduler.OnTaskFinish(js.user, event.machine);
@@ -182,32 +304,32 @@ SimResult Simulate(const Workload& workload, const OnlinePolicy& policy) {
     // capacity is then handed to the arrival batch in key order. Other
     // pending users need no consideration: they could not place before
     // this instant and no other machine gained capacity.
-    std::sort(freed_machines.begin(), freed_machines.end());
-    freed_machines.erase(
-        std::unique(freed_machines.begin(), freed_machines.end()),
-        freed_machines.end());
-    for (const MachineId m : freed_machines)
-      scheduler.ServeMachine(m, [&](UserId user, MachineId machine) {
-        record_placement(user_to_job[user], machine, now);
-      });
+    if (scheduler.HasPendingUsers()) {
+      std::sort(freed_machines.begin(), freed_machines.end());
+      freed_machines.erase(
+          std::unique(freed_machines.begin(), freed_machines.end()),
+          freed_machines.end());
+      for (const MachineId m : freed_machines)
+        scheduler.ServeMachine(m, on_place);
+    }
     if (!arrived_users.empty())
-      scheduler.PlaceUsersInterleaved(
-          arrived_users, [&](UserId user, MachineId machine) {
-            record_placement(user_to_job[user], machine, now);
-          });
+      scheduler.PlaceUsersInterleaved(arrived_users, on_place);
   }
 
-  TSF_CHECK_EQ(result.tasks.size(), total_tasks);
+  TSF_CHECK_EQ(tasks_placed, total_tasks);
   for (std::size_t j = 0; j < workload.jobs.size(); ++j)
     TSF_CHECK_EQ(state[j].finished, workload.jobs[j].spec.num_tasks)
         << "job " << j << " did not finish";
-  // Keep tasks ordered by (job, index) so identical workloads align across
-  // policies.
-  std::sort(result.tasks.begin(), result.tasks.end(),
-            [](const TaskRecord& a, const TaskRecord& b) {
-              return a.job != b.job ? a.job < b.job : a.index < b.index;
-            });
   return result;
+}
+
+}  // namespace
+
+SimResult Simulate(const Workload& workload, const OnlinePolicy& policy,
+                   SimCore core) {
+  return core == SimCore::kReference
+             ? SimulateWith<ReferenceScheduler>(workload, policy)
+             : SimulateWith<OnlineScheduler>(workload, policy);
 }
 
 }  // namespace tsf

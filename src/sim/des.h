@@ -51,10 +51,17 @@ struct SimResult {
   std::vector<double> TaskQueueingDelays() const;
 };
 
+// Which scheduling core drives the simulation. kIncremental is the
+// heap-based production core; kReference is the retained linear-scan
+// implementation (core/online/reference_scheduler.h) used by the
+// differential tests — both must emit identical placement streams.
+enum class SimCore { kIncremental, kReference };
+
 // Runs `workload` to completion under `policy`. Jobs must be sorted by
 // arrival time. The result's tasks vector is indexed consistently across
 // policies (same workload → same task identity), enabling per-task speedup
 // comparisons.
-SimResult Simulate(const Workload& workload, const OnlinePolicy& policy);
+SimResult Simulate(const Workload& workload, const OnlinePolicy& policy,
+                   SimCore core = SimCore::kIncremental);
 
 }  // namespace tsf

@@ -1,6 +1,9 @@
 #include "sim/runner.h"
 
+#include <atomic>
+#include <memory>
 #include <mutex>
+#include <optional>
 
 #include "util/check.h"
 
@@ -12,17 +15,43 @@ void RunSeeds(const WorkloadFactory& factory,
               ThreadPool& pool, const SeedReducer& reduce) {
   TSF_CHECK(!policies.empty());
   TSF_CHECK_GT(num_seeds, 0u);
+  const std::size_t num_policies = policies.size();
   std::mutex reduce_mutex;
 
-  pool.ParallelFor(num_seeds, [&](std::size_t k) {
-    const std::uint64_t seed = first_seed + k;
-    const Workload workload = factory(seed);
+  // One slot per seed; every (seed, policy) cell is an independent pool
+  // task, so a slow policy on one seed no longer serializes the others.
+  // The first cell to touch a seed synthesizes its workload (call_once);
+  // the last cell to finish reduces and frees the slot.
+  struct SeedSlot {
+    std::once_flag once;
+    std::optional<Workload> workload;
     std::vector<SimResult> results;
-    results.reserve(policies.size());
-    for (const OnlinePolicy& policy : policies)
-      results.push_back(Simulate(workload, policy));
-    const std::lock_guard lock(reduce_mutex);
-    reduce(seed, results);
+    std::atomic<std::size_t> remaining{0};
+  };
+  std::vector<SeedSlot> slots(num_seeds);
+  for (SeedSlot& slot : slots)
+    slot.remaining.store(num_policies, std::memory_order_relaxed);
+
+  pool.ParallelFor(num_seeds * num_policies, [&](std::size_t cell) {
+    const std::size_t k = cell / num_policies;
+    const std::size_t p = cell % num_policies;
+    SeedSlot& slot = slots[k];
+    const std::uint64_t seed = first_seed + k;
+    std::call_once(slot.once, [&] {
+      slot.workload.emplace(factory(seed));
+      slot.results.resize(num_policies);
+    });
+    slot.results[p] = Simulate(*slot.workload, policies[p]);
+    if (slot.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      {
+        const std::lock_guard lock(reduce_mutex);
+        reduce(seed, slot.results);
+      }
+      // Discard the seed's workload and results to bound memory.
+      slot.workload.reset();
+      slot.results.clear();
+      slot.results.shrink_to_fit();
+    }
   });
 }
 

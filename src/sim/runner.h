@@ -1,9 +1,11 @@
 // Multi-seed experiment runner.
 //
 // The paper averages every macro-benchmark over 50 simulations; this runner
-// fans seeds out over a thread pool, runs every policy on the *same*
-// workload instance per seed (required for per-task/per-job speedup
-// comparisons), and hands each seed's batch of results to a reducer.
+// fans the full seed × policy grid out over a thread pool — each cell is an
+// independent task, so one slow policy does not serialize a seed's batch —
+// runs every policy on the *same* workload instance per seed (required for
+// per-task/per-job speedup comparisons), and hands each seed's batch of
+// results to a reducer once its last cell completes.
 #pragma once
 
 #include <cstdint>

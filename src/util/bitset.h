@@ -74,6 +74,16 @@ class DynamicBitset {
     return false;
   }
 
+  // Number of bits set in both this and other (popcount of the AND, without
+  // materializing it).
+  std::size_t CountAnd(const DynamicBitset& other) const {
+    TSF_DCHECK(size_ == other.size_);
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      n += static_cast<std::size_t>(std::popcount(words_[i] & other.words_[i]));
+    return n;
+  }
+
   DynamicBitset& operator&=(const DynamicBitset& other) {
     TSF_DCHECK(size_ == other.size_);
     for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
@@ -110,6 +120,21 @@ class DynamicBitset {
         w &= w - 1;
       }
     }
+  }
+
+  // Calls fn(index) for set bits in ascending order until fn returns true
+  // (stop) or the bits run out. Returns true iff fn stopped the iteration.
+  template <typename Fn>
+  bool ForEachSetUntil(Fn&& fn) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi];
+      while (w != 0) {
+        const int bit = std::countr_zero(w);
+        if (fn(wi * 64 + static_cast<std::size_t>(bit))) return true;
+        w &= w - 1;
+      }
+    }
+    return false;
   }
 
   // Index of the first set bit, or size() if none.

@@ -2,9 +2,12 @@
 // greedy placement, ascending-share service, retirement.
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
+#include "core/online/reference_scheduler.h"
 #include "core/online/scheduler.h"
+#include "util/rng.h"
 
 namespace tsf {
 namespace {
@@ -253,6 +256,140 @@ TEST(OnlineSchedulerDeathTest, FinishWithoutRunningTaskAborts) {
   const UserId u = scheduler.AddUser(UnitUser(2, 10, 10, 0, {0}));
   EXPECT_DEATH(scheduler.OnTaskFinish(u, 0), "check failed");
 }
+
+// --- Differential tests: incremental core vs the linear-scan reference. ---
+//
+// Both schedulers are driven through an identical randomized operation
+// sequence (registrations, arrival batches, task finishes with re-serves,
+// pending top-ups, retirements) and must agree placement-for-placement, in
+// order, with bit-identical keys throughout. This is what licenses the
+// heap/cursor machinery in the incremental core: any divergence from the
+// naive rescan spec shows up as a stream mismatch here.
+
+std::vector<OnlinePolicy> EveryPolicy() {
+  return {OnlinePolicy::Fifo(),         OnlinePolicy::Drf(),
+          OnlinePolicy::Cdrf(),         OnlinePolicy::Cmmf(0, "CPU"),
+          OnlinePolicy::Cmmf(1, "Mem"), OnlinePolicy::Tsf()};
+}
+
+class SchedulerDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchedulerDifferential, LockstepPlacementIdentity) {
+  for (const OnlinePolicy& policy : EveryPolicy()) {
+    Rng rng(GetParam() * 1000003 + static_cast<std::uint64_t>(policy.kind));
+    const auto num_machines = static_cast<std::size_t>(rng.Int(1, 8));
+    std::vector<ResourceVector> capacity;
+    for (std::size_t m = 0; m < num_machines; ++m)
+      capacity.push_back(
+          ResourceVector{rng.Uniform(0.2, 1.0), rng.Uniform(0.2, 1.0)});
+
+    OnlineScheduler fast(capacity, policy);
+    ReferenceScheduler ref(capacity, policy);
+    // (user, machine) of every task currently running; identical for both
+    // cores because every placement stream is asserted equal below.
+    std::vector<std::pair<UserId, MachineId>> running;
+
+    // Runs `op` against each core, then asserts the recorded placement
+    // streams and all externally visible state agree exactly.
+    auto in_lockstep = [&](auto&& op) {
+      std::vector<std::pair<UserId, MachineId>> from_fast, from_ref;
+      op(fast, from_fast);
+      op(ref, from_ref);
+      ASSERT_EQ(from_fast, from_ref) << policy.name;
+      for (const auto& placement : from_fast) running.push_back(placement);
+      ASSERT_EQ(fast.num_users(), ref.num_users());
+      for (UserId u = 0; u < fast.num_users(); ++u) {
+        ASSERT_EQ(fast.Key(u), ref.Key(u)) << policy.name << " user " << u;
+        ASSERT_EQ(fast.pending(u), ref.pending(u)) << policy.name;
+        ASSERT_EQ(fast.running(u), ref.running(u)) << policy.name;
+      }
+      for (MachineId m = 0; m < num_machines; ++m)
+        ASSERT_EQ(fast.FreeCapacity(m).values(), ref.FreeCapacity(m).values())
+            << policy.name << " machine " << m;
+      ASSERT_EQ(fast.HasPendingUsers(), ref.HasPendingUsers()) << policy.name;
+    };
+
+    auto random_spec = [&] {
+      OnlineUserSpec spec;
+      spec.demand =
+          ResourceVector{rng.Uniform(0.02, 0.2), rng.Uniform(0.02, 0.2)};
+      DynamicBitset eligible(num_machines);
+      for (std::size_t m = 0; m < num_machines; ++m)
+        if (rng.Chance(0.6)) eligible.Set(m);
+      if (eligible.None()) eligible.Set(rng.Below(num_machines));
+      spec.eligible = std::move(eligible);
+      spec.weight = rng.Chance(0.5) ? 1.0 : rng.Uniform(0.5, 3.0);
+      spec.h = rng.Uniform(1.0, 50.0);
+      spec.g = rng.Uniform(1.0, spec.h);
+      spec.pending = rng.Int(0, 12);
+      return spec;
+    };
+
+    for (int step = 0; step < 60; ++step) {
+      const auto roll = rng.Below(100);
+      if (roll < 30 || fast.num_users() == 0) {
+        // Arrival batch of 1–3 users, placed like the simulator would:
+        // registered together, then interleaved by key.
+        const auto batch = static_cast<std::size_t>(rng.Int(1, 3));
+        std::vector<OnlineUserSpec> specs;
+        for (std::size_t b = 0; b < batch; ++b) specs.push_back(random_spec());
+        std::vector<UserId> batch_users;
+        in_lockstep([&](auto& core, auto& placed) {
+          batch_users.clear();
+          for (const OnlineUserSpec& spec : specs)
+            batch_users.push_back(core.AddUser(spec));
+          core.PlaceUsersInterleaved(batch_users, [&](UserId u, MachineId m) {
+            placed.emplace_back(u, m);
+          });
+        });
+      } else if (roll < 55 && !running.empty()) {
+        // Finish a random running task, then re-serve its machine.
+        const std::size_t pick = rng.Below(running.size());
+        const auto [user, machine] = running[pick];
+        running.erase(running.begin() + static_cast<std::ptrdiff_t>(pick));
+        in_lockstep([&](auto& core, auto& placed) {
+          core.OnTaskFinish(user, machine);
+          core.ServeMachine(machine, [&](UserId u, MachineId m) {
+            placed.emplace_back(u, m);
+          });
+        });
+      } else if (roll < 75) {
+        // Top up a live user's queue and greedily drain it.
+        const UserId user = rng.Below(fast.num_users());
+        if (fast.pending(user) == 0 && fast.running(user) == 0) continue;
+        const long count = rng.Int(0, 6);
+        in_lockstep([&](auto& core, auto& placed) {
+          core.AddPending(user, count);
+          core.PlaceUserGreedy(
+              user, [&](MachineId m) { placed.emplace_back(user, m); });
+        });
+      } else if (roll < 90) {
+        // Serve a random machine (often a no-op; must be a no-op in both).
+        const MachineId machine = rng.Below(num_machines);
+        in_lockstep([&](auto& core, auto& placed) {
+          core.ServeMachine(machine, [&](UserId u, MachineId m) {
+            placed.emplace_back(u, m);
+          });
+        });
+      } else {
+        // Retire a drained user, as the simulator does on job completion.
+        for (UserId u = 0; u < fast.num_users(); ++u) {
+          if (fast.pending(u) != 0 || fast.running(u) != 0) continue;
+          in_lockstep([&](auto& core, auto& placed) {
+            (void)placed;
+            core.Retire(u);
+          });
+          break;
+        }
+      }
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+// 25 seeds x 6 policies = 150 randomized scheduler-level combos.
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerDifferential,
+                         ::testing::Range<std::uint64_t>(1, 26));
 
 }  // namespace
 }  // namespace tsf

@@ -90,6 +90,39 @@ TEST(DynamicBitset, ForEachSetVisitsAscending) {
   EXPECT_EQ(seen, expected);
 }
 
+TEST(DynamicBitset, ForEachSetUntilStopsAtFirstTrue) {
+  DynamicBitset bits(200);
+  for (const auto i : {3, 64, 65, 127, 128, 199}) bits.Set(static_cast<std::size_t>(i));
+  std::vector<std::size_t> seen;
+  const bool stopped = bits.ForEachSetUntil([&](std::size_t i) {
+    seen.push_back(i);
+    return i >= 65;
+  });
+  EXPECT_TRUE(stopped);
+  EXPECT_EQ(seen, (std::vector<std::size_t>{3, 64, 65}));
+}
+
+TEST(DynamicBitset, ForEachSetUntilExhaustsWhenNeverStopped) {
+  DynamicBitset bits(130);
+  const std::vector<std::size_t> expected = {0, 63, 64, 129};
+  for (const auto i : expected) bits.Set(i);
+  std::vector<std::size_t> seen;
+  const bool stopped =
+      bits.ForEachSetUntil([&](std::size_t i) { seen.push_back(i); return false; });
+  EXPECT_FALSE(stopped);
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(DynamicBitset, CountAndMatchesMaterializedIntersection) {
+  DynamicBitset a(150), b(150);
+  for (const auto i : {1, 63, 64, 100, 149}) a.Set(static_cast<std::size_t>(i));
+  for (const auto i : {1, 64, 99, 149}) b.Set(static_cast<std::size_t>(i));
+  EXPECT_EQ(a.CountAnd(b), (a & b).Count());
+  EXPECT_EQ(a.CountAnd(b), 3u);
+  EXPECT_EQ(a.CountAnd(a), a.Count());
+  EXPECT_EQ(DynamicBitset(150).CountAnd(a), 0u);
+}
+
 TEST(DynamicBitset, FindFirst) {
   DynamicBitset bits(128);
   EXPECT_EQ(bits.FindFirst(), 128u);

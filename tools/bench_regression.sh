@@ -1,0 +1,40 @@
+#!/usr/bin/env sh
+# Perf-regression harness: runs the core microbenchmarks and rewrites
+# BENCH_core.json at the repo root, printing a before/after delta against
+# the committed baseline so perf changes are visible in every PR.
+#
+# Usage: tools/bench_regression.sh [build-dir]   (default: build)
+set -eu
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+bench="$build_dir/bench/bench_perf_core"
+baseline="$repo_root/BENCH_core.json"
+fresh="$repo_root/BENCH_core.json.new"
+
+if [ ! -x "$bench" ]; then
+  echo "error: $bench not built (cmake --build $build_dir --target bench_perf_core)" >&2
+  exit 1
+fi
+
+"$bench" --benchmark_format=console \
+         --benchmark_out="$fresh" --benchmark_out_format=json
+
+if [ -f "$baseline" ]; then
+  python3 - "$baseline" "$fresh" <<'EOF'
+import json, sys
+old = {b["name"]: b for b in json.load(open(sys.argv[1]))["benchmarks"]}
+new = {b["name"]: b for b in json.load(open(sys.argv[2]))["benchmarks"]}
+print(f"{'benchmark':40s} {'old':>12s} {'new':>12s} {'speedup':>8s}")
+for name, b in new.items():
+    if name not in old:
+        print(f"{name:40s} {'-':>12s} {b['real_time']:>10.1f}{b['time_unit']:<2s}")
+        continue
+    o, n = old[name]["real_time"], b["real_time"]
+    unit = b["time_unit"]
+    print(f"{name:40s} {o:>10.1f}{unit:<2s} {n:>10.1f}{unit:<2s} {o / n:>7.2f}x")
+EOF
+fi
+
+mv "$fresh" "$baseline"
+echo "wrote $baseline"
