@@ -1,9 +1,13 @@
 #include "bench_common.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 
 #include "stats/table.h"
+#include "telemetry/telemetry.h"
 #include "util/check.h"
+#include "util/log.h"
 
 namespace tsf::bench {
 
@@ -29,6 +33,33 @@ std::vector<OnlinePolicy> FairPolicies() {
           OnlinePolicy::Cmmf(1, "Mem"), OnlinePolicy::Tsf()};
 }
 
+namespace {
+
+// Owned by the atexit hook below; set once per process by ParseMacroFlags.
+std::string* g_telemetry_dir = nullptr;
+
+void WriteTelemetryArtifacts() {
+  if (g_telemetry_dir == nullptr) return;
+  const std::string metrics_path = *g_telemetry_dir + "/metrics.jsonl";
+  if (!telemetry::Registry::Get().WriteJsonlSnapshot(metrics_path))
+    std::fprintf(stderr, "telemetry: cannot write %s\n", metrics_path.c_str());
+  else
+    std::fprintf(stderr, "telemetry: wrote %s\n", metrics_path.c_str());
+  if (telemetry::TraceActive()) {
+    telemetry::Tracer::Get().Stop();
+    const std::string trace_path = *g_telemetry_dir + "/trace.json";
+    if (!telemetry::Tracer::Get().WriteChromeTrace(trace_path))
+      std::fprintf(stderr, "telemetry: cannot write %s\n", trace_path.c_str());
+    else
+      std::fprintf(stderr,
+                   "telemetry: wrote %s (open in https://ui.perfetto.dev "
+                   "or chrome://tracing)\n",
+                   trace_path.c_str());
+  }
+}
+
+}  // namespace
+
 MacroConfig ParseMacroFlags(
     int argc, char** argv,
     std::vector<std::pair<std::string, std::string>> extra_flags,
@@ -40,6 +71,11 @@ MacroConfig ParseMacroFlags(
       {"first-seed", "first RNG seed (default 1)"},
       {"tightness", "constraint tightness multiplier (default 1.0)"},
       {"threads", "worker threads (default: hardware)"},
+      {"telemetry_dir", "directory for metrics/trace/timeline output "
+                        "(enables telemetry)"},
+      {"trace", "record a Chrome trace_event JSON (needs --telemetry_dir)"},
+      {"fairness-interval", "fairness sampling period in simulated seconds "
+                            "(default 10 when telemetry is on)"},
   };
   for (auto& flag : extra_flags) allowed.push_back(std::move(flag));
 
@@ -55,16 +91,59 @@ MacroConfig ParseMacroFlags(
   config.first_seed = static_cast<std::uint64_t>(flags->GetInt("first-seed", 1));
   config.tightness = flags->GetDouble("tightness", 1.0);
   config.threads = static_cast<std::size_t>(flags->GetInt("threads", 0));
+  config.telemetry_dir = flags->GetString("telemetry_dir", "");
+  config.trace = flags->GetBool("trace", false);
+  config.fairness_interval = flags->GetDouble(
+      "fairness-interval", config.telemetry_dir.empty() ? 0.0 : 10.0);
   TSF_CHECK_GT(config.machines, 0u);
   TSF_CHECK_GT(config.jobs, 0u);
   TSF_CHECK_GT(config.seeds, 0u);
 
+  if (!config.telemetry_dir.empty()) {
+    std::error_code error;
+    std::filesystem::create_directories(config.telemetry_dir, error);
+    if (error) {
+      std::fprintf(stderr, "error: cannot create --telemetry_dir %s: %s\n",
+                   config.telemetry_dir.c_str(), error.message().c_str());
+      std::exit(2);
+    }
+    telemetry::SetEnabled(true);
+    if (config.trace) telemetry::Tracer::Get().Start();
+    g_telemetry_dir = new std::string(config.telemetry_dir);
+    std::atexit(WriteTelemetryArtifacts);
+  } else if (config.trace) {
+    TSF_LOG(WARN) << "--trace without --telemetry_dir has no effect";
+  }
+
   std::printf("config: machines=%zu jobs=%zu seeds=%zu first-seed=%llu "
-              "tightness=%.2f\n\n",
+              "tightness=%.2f%s%s\n\n",
               config.machines, config.jobs, config.seeds,
               static_cast<unsigned long long>(config.first_seed),
-              config.tightness);
+              config.tightness,
+              config.telemetry_dir.empty()
+                  ? ""
+                  : (" telemetry_dir=" + config.telemetry_dir).c_str(),
+              config.trace ? " trace=on" : "");
   return config;
+}
+
+void MaybeWriteFairnessTimelines(const MacroConfig& config,
+                                 const std::vector<OnlinePolicy>& policies,
+                                 std::uint64_t seed,
+                                 const std::vector<SimResult>& results) {
+  if (config.telemetry_dir.empty() || config.fairness_interval <= 0.0) return;
+  if (seed != config.first_seed) return;  // one representative seed
+  TSF_CHECK_EQ(policies.size(), results.size());
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    const std::string stem =
+        config.telemetry_dir + "/fairness_" + policies[p].name;
+    if (!telemetry::WriteFairnessCsv(stem + ".csv",
+                                     results[p].fairness_timeline) ||
+        !telemetry::WriteFairnessJsonl(stem + ".jsonl", policies[p].name,
+                                       results[p].fairness_timeline))
+      std::fprintf(stderr, "telemetry: cannot write %s.{csv,jsonl}\n",
+                   stem.c_str());
+  }
 }
 
 trace::GoogleTraceConfig MakeTraceConfig(const MacroConfig& config,

@@ -38,14 +38,41 @@ struct MacroConfig {
   std::uint64_t first_seed = 1;
   double tightness = 1.0;
   std::size_t threads = 0;  // 0 = hardware concurrency
+
+  // Telemetry (see src/telemetry/): when telemetry_dir is non-empty the
+  // metrics registry is enabled for the whole run and a metrics.jsonl
+  // snapshot lands there at exit; --trace additionally opens a tracer
+  // session whose Chrome trace_event JSON (trace.json) is written at exit.
+  std::string telemetry_dir;
+  bool trace = false;
+  // Virtual-time fairness sampling period for RunSeeds benches; defaults to
+  // 10 simulated seconds when telemetry_dir is set, otherwise off.
+  double fairness_interval = 0.0;
+
+  // SimOptions carrying the fairness sampling period into Simulate/RunSeeds.
+  SimOptions sim_options() const {
+    return SimOptions{.fairness_sample_interval = fairness_interval};
+  }
 };
 
 // Declares and parses --machines/--jobs/--seeds/--first-seed/--tightness/
-// --threads. Extra flags may be appended by the caller.
+// --threads plus the telemetry trio --telemetry_dir/--trace/
+// --fairness-interval. Extra flags may be appended by the caller. When
+// --telemetry_dir is given this also enables telemetry and registers an
+// atexit hook that writes the metrics snapshot (and the trace, with
+// --trace) into that directory.
 MacroConfig ParseMacroFlags(
     int argc, char** argv,
     std::vector<std::pair<std::string, std::string>> extra_flags = {},
     const Flags** flags_out = nullptr);
+
+// Writes fairness_<policy>.csv/.jsonl under config.telemetry_dir for the
+// representative seed (config.first_seed); no-op for other seeds or when
+// telemetry/sampling is off. Call from a RunSeeds reducer.
+void MaybeWriteFairnessTimelines(const MacroConfig& config,
+                                 const std::vector<OnlinePolicy>& policies,
+                                 std::uint64_t seed,
+                                 const std::vector<SimResult>& results);
 
 // Builds the Google-like workload for one seed under a macro config.
 trace::GoogleTraceConfig MakeTraceConfig(const MacroConfig& config,

@@ -44,7 +44,7 @@ int Run(int argc, char** argv) {
         return trace::SynthesizeGoogleWorkload(bench::MakeTraceConfig(config, seed));
       },
       policies, config.first_seed, config.seeds, pool,
-      [&](std::uint64_t, const std::vector<SimResult>& results) {
+      [&](std::uint64_t seed, const std::vector<SimResult>& results) {
         const SimResult& tsf = results.back();
         for (std::size_t alt = 0; alt < num_alternatives; ++alt) {
           for (std::size_t j = 0; j < tsf.jobs.size(); ++j) {
@@ -55,9 +55,11 @@ int Run(int argc, char** argv) {
                                                             t_alt);
           }
         }
+        bench::MaybeWriteFairnessTimelines(config, policies, seed, results);
         std::printf(".");
         std::fflush(stdout);
-      });
+      },
+      config.sim_options());
   std::printf("\n");
 
   bench::PrintSection("mean relative speedup of TSF (+/- one stddev)");

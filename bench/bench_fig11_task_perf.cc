@@ -36,7 +36,8 @@ int Run(int argc, char** argv) {
         return trace::SynthesizeGoogleWorkload(bench::MakeTraceConfig(config, seed));
       },
       policies, config.first_seed, config.seeds, pool,
-      [&](std::uint64_t, const std::vector<SimResult>& results) {
+      [&](std::uint64_t seed, const std::vector<SimResult>& results) {
+        bench::MaybeWriteFairnessTimelines(config, policies, seed, results);
         for (std::size_t k = 0; k < policies.size(); ++k)
           delay[k].AddAll(results[k].TaskQueueingDelays());
         const SimResult& tsf = results[tsf_index];
@@ -53,7 +54,8 @@ int Run(int argc, char** argv) {
         }
         std::printf(".");
         std::fflush(stdout);
-      });
+      },
+      config.sim_options());
   std::printf("\n");
 
   std::vector<std::string> labels;

@@ -28,7 +28,7 @@ int Run(int argc, char** argv) {
         return trace::SynthesizeGoogleWorkload(bench::MakeTraceConfig(config, seed));
       },
       policies, config.first_seed, config.seeds, pool,
-      [&](std::uint64_t, const std::vector<SimResult>& results) {
+      [&](std::uint64_t seed, const std::vector<SimResult>& results) {
         for (std::size_t k = 0; k < results.size(); ++k) {
           for (const double d : results[k].JobQueueingDelays()) {
             queueing[k].Add(d);
@@ -37,9 +37,11 @@ int Run(int argc, char** argv) {
           completion[k].AddAll(results[k].JobCompletionTimes());
         }
         total_jobs += results[0].jobs.size();
+        bench::MaybeWriteFairnessTimelines(config, policies, seed, results);
         std::printf(".");
         std::fflush(stdout);
-      });
+      },
+      config.sim_options());
   std::printf("\n");
 
   std::vector<std::string> labels;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "telemetry/telemetry.h"
 #include "util/check.h"
 
 namespace tsf {
@@ -103,6 +104,7 @@ void OnlineScheduler::PlaceUserGreedy(
 void OnlineScheduler::PlaceUsersInterleaved(
     const std::vector<UserId>& users,
     const std::function<void(UserId, MachineId)>& on_place) {
+  TSF_TRACE_SCOPE("scheduler", "PlaceUsersInterleaved");
   if (users.size() == 1) {
     const UserId user = users.front();
     PlaceUserGreedy(user, [&](MachineId m) { on_place(user, m); });
@@ -142,10 +144,12 @@ void OnlineScheduler::PlaceUsersInterleaved(
 
   while (!heap_.Empty()) {
     const RankEntry entry = heap_.PopMin();
+    TSF_COUNTER_ADD("scheduler.interleave.heap_pops", 1);
     Cursor& cursor = cursors[entry.id];
     User& u = users_[cursor.user];
     if (u.pending <= 0) continue;
     if (entry.key != u.key) {  // stale entry: re-rank at the current key
+      TSF_COUNTER_ADD("scheduler.interleave.stale_entries", 1);
       heap_.Push(u.key, entry.id);
       continue;
     }
@@ -155,6 +159,7 @@ void OnlineScheduler::PlaceUsersInterleaved(
     if (cursor.exhausted()) continue;  // permanently out of this phase
     const MachineId machine = cursor.machines[cursor.next];
     TSF_CHECK(TryPlace(cursor.user, machine));
+    TSF_COUNTER_ADD("scheduler.interleave.placements", 1);
     on_place(cursor.user, machine);
     if (u.pending > 0) heap_.Push(u.key, entry.id);
   }
@@ -164,6 +169,10 @@ void OnlineScheduler::ServeMachine(
     MachineId machine, const std::function<void(UserId, MachineId)>& on_place) {
   std::vector<UserId>& candidates = machine_users_[machine];
   if (candidates.empty()) return;  // nobody waiting on this machine
+  TSF_TRACE_SCOPE("scheduler", "ServeMachine");
+  TSF_COUNTER_ADD("scheduler.serve_machine.calls", 1);
+  TSF_HISTOGRAM_RECORD("scheduler.serve_machine.wait_list",
+                       candidates.size());
 
   // Build the min-heap and compact the wait list in one pass: retired or
   // drained users drop out (AddPending re-registers a user that gets new
@@ -179,6 +188,8 @@ void OnlineScheduler::ServeMachine(
     candidates[keep++] = id;
     if (free_[machine].Fits(u.demand)) heap_.PushUnordered(u.key, id);
   }
+  TSF_COUNTER_ADD("scheduler.serve_machine.wait_list_compacted",
+                  static_cast<std::int64_t>(candidates.size() - keep));
   candidates.resize(keep);
   heap_.Heapify();
 
@@ -189,15 +200,18 @@ void OnlineScheduler::ServeMachine(
 
   while (!heap_.Empty()) {
     const RankEntry entry = heap_.PopMin();
+    TSF_COUNTER_ADD("scheduler.serve_machine.heap_pops", 1);
     const UserId id = entry.id;
     User& u = users_[id];
     if (u.pending <= 0) continue;
     if (entry.key != u.key) {  // stale entry: re-rank at the current key
+      TSF_COUNTER_ADD("scheduler.serve_machine.stale_entries", 1);
       heap_.Push(u.key, id);
       continue;
     }
     if (!free_[machine].Fits(u.demand)) continue;  // out for this phase
     TSF_CHECK(TryPlace(id, machine));
+    TSF_COUNTER_ADD("scheduler.serve_machine.placements", 1);
     on_place(id, machine);
     if (u.pending > 0) heap_.Push(u.key, id);
   }

@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "core/online/ranker.h"
+#include "telemetry/telemetry.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -37,6 +38,12 @@ struct FrameworkState {
   double key = 0.0;
   std::vector<bool> allowed;  // per slave
   FrameworkStats stats;
+#if defined(TSF_TELEMETRY)
+  // Per-framework offer outcome counters (mesos.offers.<name>.accepted /
+  // .declined); resolved once at registration, incremented when enabled.
+  telemetry::Counter* accepted_counter = nullptr;
+  telemetry::Counter* declined_counter = nullptr;
+#endif
 
   bool Active() const {
     return registered && finished < spec.num_tasks;
@@ -140,6 +147,12 @@ SimOutcome RunCluster(const ClusterConfig& config,
     fw.coeff = ShareCoefficient(ranker_policy, normalized_demand,
                                 fw.spec.weight, fw.h, fw.h);
     fw.UpdateKey();
+#if defined(TSF_TELEMETRY)
+    fw.accepted_counter = &telemetry::Registry::Get().GetCounter(
+        "mesos.offers." + fw.spec.name + ".accepted");
+    fw.declined_counter = &telemetry::Registry::Get().GetCounter(
+        "mesos.offers." + fw.spec.name + ".declined");
+#endif
   }
 
   // How many frameworks may ever use each slave. The allocator steers a
@@ -163,6 +176,7 @@ SimOutcome RunCluster(const ClusterConfig& config,
   outcome.frameworks.resize(num_frameworks);
 
   auto sample_timeline = [&](double now) {
+    TSF_TRACE_SCOPE("mesos", "sample_timeline");
     SharePoint point;
     point.time = now;
     point.cpu_share.resize(num_frameworks);
@@ -189,18 +203,24 @@ SimOutcome RunCluster(const ClusterConfig& config,
   // whitelisted slave is dropped from the heap for the rest of the cycle.
   RankHeap offer_heap;
   auto run_allocation = [&](double now) {
-    offer_heap.Clear();
-    offer_heap.Reserve(num_frameworks);
-    for (std::size_t f = 0; f < num_frameworks; ++f) {
-      const FrameworkState& fw = frameworks[f];
-      if (fw.Active() && fw.HasPending()) offer_heap.PushUnordered(fw.key, f);
+    TSF_TRACE_SCOPE("mesos", "offer_round");
+    TSF_COUNTER_ADD("mesos.offer_rounds", 1);
+    {
+      TSF_TRACE_SCOPE("mesos", "allocator_sort");
+      offer_heap.Clear();
+      offer_heap.Reserve(num_frameworks);
+      for (std::size_t f = 0; f < num_frameworks; ++f) {
+        const FrameworkState& fw = frameworks[f];
+        if (fw.Active() && fw.HasPending()) offer_heap.PushUnordered(fw.key, f);
+      }
+      offer_heap.Heapify();
     }
-    offer_heap.Heapify();
 
     while (!offer_heap.Empty()) {
       const RankEntry entry = offer_heap.PopMin();
       FrameworkState& fw = frameworks[entry.id];
       if (entry.key != fw.key) {  // stale entry: re-rank at the current key
+        TSF_COUNTER_ADD("mesos.allocator.stale_entries", 1);
         offer_heap.Push(fw.key, entry.id);
         continue;
       }
@@ -210,7 +230,14 @@ SimOutcome RunCluster(const ClusterConfig& config,
         if (!fw.allowed[s] || !free[s].Fits(fw.spec.demand)) continue;
         if (slave == num_slaves || contention[s] < contention[slave]) slave = s;
       }
-      if (slave == num_slaves) continue;  // out for the rest of this cycle
+      if (slave == num_slaves) {
+        // The framework implicitly declines: nothing it may use fits.
+        TSF_COUNTER_ADD("mesos.offers.declined", 1);
+#if defined(TSF_TELEMETRY)
+        if (telemetry::Enabled()) fw.declined_counter->Add(1);
+#endif
+        continue;  // out for the rest of this cycle
+      }
 
       // Launch exactly one task, then re-rank — re-ranking after every
       // allocation is what keeps simultaneously-registered equal-share
@@ -220,6 +247,10 @@ SimOutcome RunCluster(const ClusterConfig& config,
       ++fw.launched;
       ++fw.running;
       fw.UpdateKey();
+      TSF_COUNTER_ADD("mesos.offers.accepted", 1);
+#if defined(TSF_TELEMETRY)
+      if (telemetry::Enabled()) fw.accepted_counter->Add(1);
+#endif
       fw.stats.first_task_time = std::min(fw.stats.first_task_time, now);
       const double runtime = fw.spec.mean_runtime *
                              rng.Uniform(1.0 - fw.spec.runtime_jitter,
@@ -249,6 +280,7 @@ SimOutcome RunCluster(const ClusterConfig& config,
         case Event::Kind::kRegister:
           frameworks[event.framework].registered = true;
           state_changed = true;
+          TSF_TRACE_INSTANT("mesos", "register");
           break;
         case Event::Kind::kTaskFinish: {
           FrameworkState& fw = frameworks[event.framework];

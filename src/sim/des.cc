@@ -4,6 +4,7 @@
 
 #include "core/online/reference_scheduler.h"
 #include "core/online/scheduler.h"
+#include "telemetry/telemetry.h"
 #include "util/check.h"
 
 namespace tsf {
@@ -53,6 +54,7 @@ class EventQueue {
  public:
   void Reserve(std::size_t n) { events_.reserve(n); }
   bool Empty() const { return events_.empty(); }
+  std::size_t Size() const { return events_.size(); }
   const Event& Top() const { return events_.front(); }
 
   void Push(const Event& e) {
@@ -131,7 +133,9 @@ std::vector<CapacityGroup> GroupByCapacity(
 }
 
 template <class Scheduler>
-SimResult SimulateWith(const Workload& workload, const OnlinePolicy& policy) {
+SimResult SimulateWith(const Workload& workload, const OnlinePolicy& policy,
+                       const SimOptions& options) {
+  TSF_TRACE_SCOPE("sim", "Simulate");
   const Cluster& cluster = workload.cluster;
   TSF_CHECK_GT(cluster.num_machines(), 0u);
   for (std::size_t j = 1; j < workload.jobs.size(); ++j)
@@ -168,7 +172,11 @@ SimResult SimulateWith(const Workload& workload, const OnlinePolicy& policy) {
   std::vector<std::pair<const Constraint*, DynamicBitset>> eligibility_memo;
   auto eligibility_for = [&](const Constraint& constraint) {
     for (const auto& [cached, bits] : eligibility_memo)
-      if (SameConstraint(*cached, constraint)) return bits;
+      if (SameConstraint(*cached, constraint)) {
+        TSF_COUNTER_ADD("des.eligibility_memo.hits", 1);
+        return bits;
+      }
+    TSF_COUNTER_ADD("des.eligibility_memo.misses", 1);
     eligibility_memo.emplace_back(&constraint,
                                   cluster.Eligibility(constraint));
     return eligibility_memo.back().second;
@@ -180,6 +188,9 @@ SimResult SimulateWith(const Workload& workload, const OnlinePolicy& policy) {
     long next_task = 0;       // next runtime index to schedule
     long finished = 0;
     bool arrived = false;
+    // Fairness-sampler inputs, fixed at arrival.
+    double dominant_demand = 0.0;  // max normalized demand component
+    double inv_hw = 0.0;           // 1 / (h_i * w_i)
   };
   std::vector<JobState> state(workload.jobs.size());
 
@@ -237,6 +248,29 @@ SimResult SimulateWith(const Workload& workload, const OnlinePolicy& policy) {
   // cluster for a whole (non-preemptible) task wave. Arrivals merge in
   // from the sorted job list; batch-mates register (in arrival order)
   // before any finish is applied, matching the former single-queue order.
+  // Fairness timeline sampler (see SimOptions): walks every sample instant
+  // in (previous now, now] before the batch at `now` applies, so each sample
+  // reflects the cluster state that held over that interval.
+  const double sample_interval = options.fairness_sample_interval;
+  double next_sample = 0.0;
+  auto take_sample = [&](double t) {
+    for (const std::size_t j : user_to_job) {
+      const JobState& js = state[j];
+      const long running = js.next_task - js.finished;
+      const long queued =
+          workload.jobs[j].spec.num_tasks - js.next_task;
+      if (running <= 0 && queued <= 0) continue;  // job already done
+      telemetry::FairnessSample sample;
+      sample.time = t;
+      sample.user = static_cast<std::uint32_t>(js.user);
+      sample.running = static_cast<std::uint32_t>(running);
+      sample.pending = static_cast<std::uint32_t>(queued);
+      sample.dominant_share = static_cast<double>(running) * js.dominant_demand;
+      sample.task_share = static_cast<double>(running) * js.inv_hw;
+      result.fairness_timeline.push_back(sample);
+    }
+  };
+
   std::vector<MachineId> freed_machines;
   std::vector<UserId> arrived_users;
   std::size_t next_arrival = 0;
@@ -245,6 +279,14 @@ SimResult SimulateWith(const Workload& workload, const OnlinePolicy& policy) {
               ? workload.jobs[next_arrival].spec.arrival_time
               : events.Top().time;
     if (!events.Empty()) now = std::min(now, events.Top().time);
+    if (sample_interval > 0.0)
+      while (next_sample <= now) {
+        take_sample(next_sample);
+        next_sample += sample_interval;
+      }
+    TSF_COUNTER_ADD("des.batches", 1);
+    TSF_HISTOGRAM_RECORD("des.event_heap_depth", events.Size());
+    TSF_TRACE_COUNTER("des", "event_heap_depth", events.Size());
     freed_machines.clear();
     arrived_users.clear();
 
@@ -276,11 +318,14 @@ SimResult SimulateWith(const Workload& workload, const OnlinePolicy& policy) {
       }
       spec.pending = job.spec.num_tasks;
       JobState& js = state[j];
+      js.dominant_demand = spec.demand.MaxComponent();
+      js.inv_hw = 1.0 / (spec.h * job.spec.weight);
       js.user = scheduler.AddUser(std::move(spec));
       js.arrived = true;
       user_to_job.push_back(j);
       TSF_CHECK_EQ(user_to_job.size(), js.user + 1);
       arrived_users.push_back(js.user);
+      TSF_COUNTER_ADD("des.arrivals", 1);
     }
 
     while (!events.Empty() && events.Top().time == now) {
@@ -297,6 +342,7 @@ SimResult SimulateWith(const Workload& workload, const OnlinePolicy& policy) {
         scheduler.Retire(js.user);
       }
       freed_machines.push_back(event.machine);
+      TSF_COUNTER_ADD("des.task_finishes", 1);
     }
 
     // Scheduling phase. Freed machines are re-offered to everyone eligible
@@ -326,10 +372,10 @@ SimResult SimulateWith(const Workload& workload, const OnlinePolicy& policy) {
 }  // namespace
 
 SimResult Simulate(const Workload& workload, const OnlinePolicy& policy,
-                   SimCore core) {
+                   SimCore core, const SimOptions& options) {
   return core == SimCore::kReference
-             ? SimulateWith<ReferenceScheduler>(workload, policy)
-             : SimulateWith<OnlineScheduler>(workload, policy);
+             ? SimulateWith<ReferenceScheduler>(workload, policy, options)
+             : SimulateWith<OnlineScheduler>(workload, policy, options);
 }
 
 }  // namespace tsf

@@ -14,6 +14,7 @@
 
 #include "core/online/policy.h"
 #include "sim/workload.h"
+#include "telemetry/timeline.h"
 
 namespace tsf {
 
@@ -45,10 +46,22 @@ struct SimResult {
   std::vector<JobRecord> jobs;
   std::vector<TaskRecord> tasks;  // ordered by (job, task index)
   double makespan = 0.0;
+  // Filled when SimOptions::fairness_sample_interval > 0: every live user's
+  // shares at each sample instant, ordered by (time, user).
+  std::vector<telemetry::FairnessSample> fairness_timeline;
 
   std::vector<double> JobQueueingDelays() const;
   std::vector<double> JobCompletionTimes() const;
   std::vector<double> TaskQueueingDelays() const;
+};
+
+// Optional observability knobs; the default runs exactly as before.
+struct SimOptions {
+  // Virtual-time period of the fairness timeline sampler (seconds); 0
+  // disables sampling. Samples are taken at t = 0, interval, 2*interval, ...
+  // up to the makespan, each reflecting the state just before the events at
+  // that instant apply.
+  double fairness_sample_interval = 0.0;
 };
 
 // Which scheduling core drives the simulation. kIncremental is the
@@ -62,6 +75,7 @@ enum class SimCore { kIncremental, kReference };
 // policies (same workload → same task identity), enabling per-task speedup
 // comparisons.
 SimResult Simulate(const Workload& workload, const OnlinePolicy& policy,
-                   SimCore core = SimCore::kIncremental);
+                   SimCore core = SimCore::kIncremental,
+                   const SimOptions& options = {});
 
 }  // namespace tsf

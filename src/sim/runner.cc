@@ -1,10 +1,12 @@
 #include "sim/runner.h"
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <optional>
 
+#include "telemetry/telemetry.h"
 #include "util/check.h"
 
 namespace tsf {
@@ -12,7 +14,8 @@ namespace tsf {
 void RunSeeds(const WorkloadFactory& factory,
               const std::vector<OnlinePolicy>& policies,
               std::uint64_t first_seed, std::size_t num_seeds,
-              ThreadPool& pool, const SeedReducer& reduce) {
+              ThreadPool& pool, const SeedReducer& reduce,
+              const SimOptions& sim_options) {
   TSF_CHECK(!policies.empty());
   TSF_CHECK_GT(num_seeds, 0u);
   const std::size_t num_policies = policies.size();
@@ -32,16 +35,52 @@ void RunSeeds(const WorkloadFactory& factory,
   for (SeedSlot& slot : slots)
     slot.remaining.store(num_policies, std::memory_order_relaxed);
 
+#if defined(TSF_TELEMETRY)
+  // One interned span name and one duration histogram per policy; the cell
+  // loop below reuses them so per-cell cost stays a clock read.
+  std::vector<const char*> span_names(num_policies, nullptr);
+  std::vector<telemetry::Histogram*> cell_ms(num_policies, nullptr);
+  if (telemetry::Enabled() || telemetry::TraceActive()) {
+    for (std::size_t p = 0; p < num_policies; ++p) {
+      span_names[p] =
+          telemetry::Tracer::Get().Intern("cell/" + policies[p].name);
+      cell_ms[p] = &telemetry::Registry::Get().GetHistogram(
+          "runner.cell_ms." + policies[p].name);
+    }
+  }
+#endif
+
   pool.ParallelFor(num_seeds * num_policies, [&](std::size_t cell) {
     const std::size_t k = cell / num_policies;
     const std::size_t p = cell % num_policies;
     SeedSlot& slot = slots[k];
     const std::uint64_t seed = first_seed + k;
     std::call_once(slot.once, [&] {
+      TSF_TRACE_SCOPE("runner", "synthesize_workload");
       slot.workload.emplace(factory(seed));
       slot.results.resize(num_policies);
     });
-    slot.results[p] = Simulate(*slot.workload, policies[p]);
+#if defined(TSF_TELEMETRY)
+    if (span_names[p] != nullptr) {
+      const auto start = std::chrono::steady_clock::now();
+      const std::uint64_t span_start = telemetry::Tracer::Get().NowNs();
+      slot.results[p] = Simulate(*slot.workload, policies[p],
+                                 SimCore::kIncremental, sim_options);
+      if (telemetry::TraceActive())
+        telemetry::Tracer::Get().RecordComplete("runner", span_names[p],
+                                                span_start);
+      if (telemetry::Enabled())
+        cell_ms[p]->Record(std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start)
+                               .count());
+    } else {
+      slot.results[p] = Simulate(*slot.workload, policies[p],
+                                 SimCore::kIncremental, sim_options);
+    }
+#else
+    slot.results[p] = Simulate(*slot.workload, policies[p],
+                               SimCore::kIncremental, sim_options);
+#endif
     if (slot.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       {
         const std::lock_guard lock(reduce_mutex);

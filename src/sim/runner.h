@@ -27,10 +27,13 @@ using SeedReducer =
 
 // Runs `factory(seed)` for seed in [first_seed, first_seed + num_seeds),
 // simulates every policy on it, and reduces. Workloads and results are
-// discarded after reduction to bound memory.
+// discarded after reduction to bound memory. `sim_options` applies to every
+// cell (e.g. fairness timeline sampling; the samples ride home inside each
+// SimResult).
 void RunSeeds(const WorkloadFactory& factory,
               const std::vector<OnlinePolicy>& policies,
               std::uint64_t first_seed, std::size_t num_seeds,
-              ThreadPool& pool, const SeedReducer& reduce);
+              ThreadPool& pool, const SeedReducer& reduce,
+              const SimOptions& sim_options = {});
 
 }  // namespace tsf

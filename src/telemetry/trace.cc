@@ -1,0 +1,254 @@
+#include "telemetry/trace.h"
+
+#include "telemetry/metrics.h"  // AppendJsonEscaped
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace tsf::telemetry {
+
+namespace internal {
+std::atomic<bool> g_trace_active{false};
+}  // namespace internal
+
+namespace {
+
+std::int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct SpinGuard {
+  explicit SpinGuard(std::atomic_flag& flag) : flag_(flag) {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  ~SpinGuard() { flag_.clear(std::memory_order_release); }
+  std::atomic_flag& flag_;
+};
+
+}  // namespace
+
+// Ring buffer owned by the tracer, written by exactly one thread (plus the
+// occasional cross-thread drain/clear, hence the spinlock).
+struct Tracer::ThreadBuffer {
+  std::atomic_flag lock = ATOMIC_FLAG_INIT;
+  std::vector<TraceRecord> ring;
+  std::size_t next = 0;      // write cursor
+  std::size_t count = 0;     // live records (<= ring.size())
+  std::uint64_t dropped = 0; // overwritten records
+  std::uint32_t tid = 0;
+};
+
+namespace {
+
+struct TracerState {
+  std::mutex mutex;  // guards buffers/interned registration only
+  std::vector<std::unique_ptr<Tracer::ThreadBuffer>> buffers;
+  std::map<std::string, std::unique_ptr<std::string>, std::less<>> interned;
+};
+
+TracerState& State() {
+  static TracerState* state = new TracerState;  // outlives thread exit
+  return *state;
+}
+
+}  // namespace
+
+Tracer& Tracer::Get() {
+  static Tracer* tracer = new Tracer;
+  return *tracer;
+}
+
+Tracer::ThreadBuffer& Tracer::LocalBuffer() {
+  thread_local ThreadBuffer* buffer = nullptr;
+  if (buffer == nullptr) {
+    TracerState& state = State();
+    const std::lock_guard lock(state.mutex);
+    auto owned = std::make_unique<ThreadBuffer>();
+    owned->tid = static_cast<std::uint32_t>(state.buffers.size() + 1);
+    owned->ring.resize(capacity_);
+    buffer = owned.get();
+    state.buffers.push_back(std::move(owned));
+  }
+  return *buffer;
+}
+
+void Tracer::Start(std::size_t events_per_thread) {
+  TracerState& state = State();
+  const std::lock_guard lock(state.mutex);
+  capacity_ = events_per_thread == 0 ? 1 : events_per_thread;
+  for (auto& buffer : state.buffers) {
+    const SpinGuard guard(buffer->lock);
+    buffer->ring.assign(capacity_, TraceRecord{});
+    buffer->next = 0;
+    buffer->count = 0;
+    buffer->dropped = 0;
+  }
+  origin_ns_.store(SteadyNowNs(), std::memory_order_relaxed);
+  internal::g_trace_active.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Stop() {
+  internal::g_trace_active.store(false, std::memory_order_relaxed);
+}
+
+std::uint64_t Tracer::NowNs() const {
+  const std::int64_t elapsed =
+      SteadyNowNs() - origin_ns_.load(std::memory_order_relaxed);
+  return elapsed > 0 ? static_cast<std::uint64_t>(elapsed) : 0;
+}
+
+void Tracer::Append(const TraceRecord& record) {
+  ThreadBuffer& buffer = LocalBuffer();
+  const SpinGuard guard(buffer.lock);
+  if (buffer.ring.empty()) return;
+  buffer.ring[buffer.next] = record;
+  buffer.next = (buffer.next + 1) % buffer.ring.size();
+  if (buffer.count < buffer.ring.size())
+    ++buffer.count;
+  else
+    ++buffer.dropped;
+}
+
+void Tracer::RecordComplete(const char* category, const char* name,
+                            std::uint64_t start_ns) {
+  TraceRecord record;
+  record.ts_ns = start_ns;
+  const std::uint64_t now = NowNs();
+  record.dur_ns = now > start_ns ? now - start_ns : 0;
+  record.name = name;
+  record.category = category;
+  record.phase = 'X';
+  Append(record);
+}
+
+void Tracer::RecordInstant(const char* category, const char* name) {
+  TraceRecord record;
+  record.ts_ns = NowNs();
+  record.name = name;
+  record.category = category;
+  record.phase = 'i';
+  Append(record);
+}
+
+void Tracer::RecordCounter(const char* category, const char* name,
+                           double value) {
+  TraceRecord record;
+  record.ts_ns = NowNs();
+  record.name = name;
+  record.category = category;
+  record.value = value;
+  record.phase = 'C';
+  Append(record);
+}
+
+const char* Tracer::Intern(std::string_view name) {
+  TracerState& state = State();
+  const std::lock_guard lock(state.mutex);
+  auto it = state.interned.find(name);
+  if (it == state.interned.end())
+    it = state.interned
+             .emplace(std::string(name), std::make_unique<std::string>(name))
+             .first;
+  return it->second->c_str();
+}
+
+std::size_t Tracer::BufferedRecords() const {
+  TracerState& state = State();
+  const std::lock_guard lock(state.mutex);
+  std::size_t total = 0;
+  for (const auto& buffer : state.buffers) {
+    const SpinGuard guard(buffer->lock);
+    total += buffer->count;
+  }
+  return total;
+}
+
+std::uint64_t Tracer::DroppedRecords() const {
+  TracerState& state = State();
+  const std::lock_guard lock(state.mutex);
+  std::uint64_t total = 0;
+  for (const auto& buffer : state.buffers) {
+    const SpinGuard guard(buffer->lock);
+    total += buffer->dropped;
+  }
+  return total;
+}
+
+bool Tracer::WriteChromeTrace(const std::string& path) const {
+  struct Flat {
+    TraceRecord record;
+    std::uint32_t tid = 0;
+  };
+  std::vector<Flat> flat;
+  std::uint64_t dropped = 0;
+  {
+    TracerState& state = State();
+    const std::lock_guard lock(state.mutex);
+    for (const auto& buffer : state.buffers) {
+      const SpinGuard guard(buffer->lock);
+      const std::size_t size = buffer->ring.size();
+      // Oldest-first: the live window ends just before `next`.
+      const std::size_t first =
+          (buffer->next + size - buffer->count) % (size == 0 ? 1 : size);
+      for (std::size_t k = 0; k < buffer->count; ++k)
+        flat.push_back(Flat{buffer->ring[(first + k) % size], buffer->tid});
+      dropped += buffer->dropped;
+    }
+  }
+  std::sort(flat.begin(), flat.end(), [](const Flat& a, const Flat& b) {
+    return a.record.ts_ns < b.record.ts_ns;
+  });
+
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  std::string out;
+  out.reserve(flat.size() * 96 + 256);
+  out += "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":\"" +
+         std::to_string(dropped) + "\"},\"traceEvents\":[\n";
+  out +=
+      "{\"pid\":1,\"tid\":0,\"ph\":\"M\",\"name\":\"process_name\","
+      "\"args\":{\"name\":\"tsf\"}}";
+  char buffer[160];
+  for (const Flat& f : flat) {
+    const TraceRecord& r = f.record;
+    out += ",\n{\"pid\":1,\"tid\":" + std::to_string(f.tid);
+    std::snprintf(buffer, sizeof(buffer), ",\"ts\":%.3f",
+                  static_cast<double>(r.ts_ns) / 1000.0);
+    out += buffer;
+    out += ",\"ph\":\"";
+    out += r.phase;
+    out += "\",\"cat\":\"";
+    AppendJsonEscaped(out, r.category == nullptr ? "" : r.category);
+    out += "\",\"name\":\"";
+    AppendJsonEscaped(out, r.name == nullptr ? "" : r.name);
+    out += '"';
+    if (r.phase == 'X') {
+      std::snprintf(buffer, sizeof(buffer), ",\"dur\":%.3f",
+                    static_cast<double>(r.dur_ns) / 1000.0);
+      out += buffer;
+    } else if (r.phase == 'i') {
+      out += ",\"s\":\"t\"";
+    } else if (r.phase == 'C') {
+      std::snprintf(buffer, sizeof(buffer), ",\"args\":{\"value\":%.17g}",
+                    r.value);
+      out += buffer;
+    }
+    out += '}';
+    if (out.size() >= (1u << 20)) {
+      std::fwrite(out.data(), 1, out.size(), file);
+      out.clear();
+    }
+  }
+  out += "\n]}\n";
+  std::fwrite(out.data(), 1, out.size(), file);
+  return std::fclose(file) == 0;
+}
+
+}  // namespace tsf::telemetry

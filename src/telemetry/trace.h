@@ -1,0 +1,109 @@
+// Event tracer emitting Chrome trace_event JSON (loadable in Perfetto or
+// chrome://tracing).
+//
+// Records go into fixed-capacity per-thread ring buffers — a full buffer
+// overwrites its oldest records, so a long run keeps its most recent window
+// instead of growing without bound (the dropped count is reported in the
+// trace metadata). Each record is a POD holding pointers to string-literal
+// names; dynamic names must be pinned with Intern() first.
+//
+// Lifecycle: Start() stamps the session origin and flips the process-wide
+// active flag the TSF_TRACE_* macros read; Stop() flips it back;
+// WriteChromeTrace() drains every thread's buffer into one JSON file. The
+// per-thread buffers are guarded by per-buffer spinlocks so a write racing a
+// drain stays well-defined — the lock is uncontended on the hot path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tsf::telemetry {
+
+namespace internal {
+extern std::atomic<bool> g_trace_active;
+}  // namespace internal
+
+// True while a trace session is open; the macros' one-branch gate.
+inline bool TraceActive() {
+  return internal::g_trace_active.load(std::memory_order_relaxed);
+}
+
+struct TraceRecord {
+  std::uint64_t ts_ns = 0;   // since session start
+  std::uint64_t dur_ns = 0;  // complete events only
+  const char* name = nullptr;
+  const char* category = nullptr;
+  double value = 0.0;  // counter events only
+  char phase = 'X';    // 'X' complete, 'i' instant, 'C' counter
+};
+
+class Tracer {
+ public:
+  static Tracer& Get();
+
+  // Opens a session: clears all buffers, stamps the time origin, and
+  // activates the trace macros. `events_per_thread` bounds each ring.
+  void Start(std::size_t events_per_thread = 1 << 16);
+  void Stop();
+
+  // Nanoseconds since the session origin.
+  std::uint64_t NowNs() const;
+
+  void RecordComplete(const char* category, const char* name,
+                      std::uint64_t start_ns);
+  void RecordInstant(const char* category, const char* name);
+  void RecordCounter(const char* category, const char* name, double value);
+
+  // Pins a dynamic name for the process lifetime and returns a stable
+  // pointer; repeated calls with the same text return the same pointer.
+  const char* Intern(std::string_view name);
+
+  // Number of records currently buffered / dropped across all threads.
+  std::size_t BufferedRecords() const;
+  std::uint64_t DroppedRecords() const;
+
+  // Serializes the buffered records (sorted by timestamp) as a Chrome
+  // trace_event JSON object. Callable after Stop(). Returns false on I/O
+  // failure.
+  bool WriteChromeTrace(const std::string& path) const;
+
+  struct ThreadBuffer;  // defined in trace.cc; owned by the tracer state
+
+ private:
+  Tracer() = default;
+
+  ThreadBuffer& LocalBuffer();
+  void Append(const TraceRecord& record);
+
+  std::atomic<std::int64_t> origin_ns_{0};  // steady_clock epoch offset
+  std::size_t capacity_ = 1 << 16;
+};
+
+// RAII span: stamps the start on construction, appends one 'X' (complete)
+// record on destruction. A span constructed while tracing is inactive is a
+// no-op even if tracing activates before it closes.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* category, const char* name) {
+    if (!TraceActive()) return;
+    name_ = name;
+    category_ = category;
+    start_ns_ = Tracer::Get().NowNs();
+  }
+  ~ScopedSpan() {
+    if (name_ != nullptr && TraceActive())
+      Tracer::Get().RecordComplete(category_, name_, start_ns_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  const char* category_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace tsf::telemetry

@@ -30,7 +30,16 @@ const char* LevelName(LogLevel level) {
 LogLevel InitialLevel() {
   const char* env = std::getenv("TSF_LOG_LEVEL");
   if (env == nullptr) return LogLevel::kWarn;
-  return ParseLogLevel(env);
+  bool recognized = false;
+  const LogLevel level = ParseLogLevel(env, &recognized);
+  // One-time (this runs once, under the LevelStore static init): a typo'd
+  // TSF_LOG_LEVEL used to silently behave like WARN.
+  if (!recognized)
+    std::fprintf(stderr,
+                 "[log] unknown TSF_LOG_LEVEL value \"%s\" "
+                 "(expected trace|debug|info|warn|error); defaulting to WARN\n",
+                 env);
+  return level;
 }
 
 std::atomic<int>& LevelStore() {
@@ -60,13 +69,19 @@ void SetLogLevel(LogLevel level) {
 }
 
 LogLevel ParseLogLevel(std::string_view text) {
+  return ParseLogLevel(text, nullptr);
+}
+
+LogLevel ParseLogLevel(std::string_view text, bool* recognized) {
   std::string lower(text);
   for (char& c : lower) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (recognized != nullptr) *recognized = true;
   if (lower == "trace") return LogLevel::kTrace;
   if (lower == "debug") return LogLevel::kDebug;
   if (lower == "info") return LogLevel::kInfo;
   if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
   if (lower == "error") return LogLevel::kError;
+  if (recognized != nullptr) *recognized = false;
   return LogLevel::kWarn;
 }
 

@@ -11,6 +11,8 @@
 // written with a single fwrite.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <sstream>
 #include <string_view>
 
@@ -31,8 +33,10 @@ LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
 // Parses "trace|debug|info|warn|error" (case-insensitive). Unknown strings
-// map to kWarn.
+// map to kWarn; pass `recognized` to distinguish a real "warn" from that
+// fallback (the TSF_LOG_LEVEL env path warns once on unknown values).
 LogLevel ParseLogLevel(std::string_view text);
+LogLevel ParseLogLevel(std::string_view text, bool* recognized);
 
 namespace detail {
 
@@ -72,4 +76,21 @@ struct LogVoidifier {
   (TSF_LOG_##severity < ::tsf::GetLogLevel())                      \
       ? (void)0                                                    \
       : ::tsf::detail::LogVoidifier() &                            \
+            ::tsf::detail::LogRecord(TSF_LOG_##severity, __FILE__, __LINE__)
+
+// Rate-limited variant for hot-path diagnostics: emits the 1st, (n+1)th,
+// (2n+1)th, ... record that passes the level check at this call site, so a
+// per-event warning cannot flood stderr at TRACE/DEBUG levels. Suppressed
+// records are not counted — lowering the level later starts the cadence
+// fresh. The per-site counter is shared across threads (relaxed increment).
+#define TSF_LOG_EVERY_N(severity, n)                                        \
+  (TSF_LOG_##severity < ::tsf::GetLogLevel() ||                             \
+   ([]() -> ::std::atomic<::std::uint64_t>& {                               \
+      static ::std::atomic<::std::uint64_t> tsf_log_site_count{0};          \
+      return tsf_log_site_count;                                            \
+    }()                                                                     \
+        .fetch_add(1, ::std::memory_order_relaxed) %                        \
+    static_cast<::std::uint64_t>(n)) != 0)                                  \
+      ? (void)0                                                             \
+      : ::tsf::detail::LogVoidifier() &                                     \
             ::tsf::detail::LogRecord(TSF_LOG_##severity, __FILE__, __LINE__)

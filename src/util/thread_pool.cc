@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "telemetry/telemetry.h"
 #include "util/check.h"
 
 namespace tsf {
@@ -32,6 +33,8 @@ void ThreadPool::Submit(std::function<void()> task) {
     TSF_CHECK(!shutting_down_) << "Submit after shutdown";
     queue_.push_back(std::move(task));
     ++in_flight_;
+    TSF_GAUGE_SET("threadpool.queue_depth", queue_.size());
+    TSF_COUNTER_ADD("threadpool.tasks_submitted", 1);
   }
   work_available_.notify_one();
 }
@@ -68,6 +71,7 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // shutting down
       task = std::move(queue_.front());
       queue_.pop_front();
+      TSF_GAUGE_SET("threadpool.queue_depth", queue_.size());
     }
     task();
     {

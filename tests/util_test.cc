@@ -8,6 +8,7 @@
 #include "util/bitset.h"
 #include "util/check.h"
 #include "util/flags.h"
+#include "util/log.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -307,6 +308,73 @@ TEST(ThreadPool, SingleThreadStillWorks) {
   std::atomic<int> sum{0};
   pool.ParallelFor(10, [&sum](std::size_t i) { sum += static_cast<int>(i); });
   EXPECT_EQ(sum.load(), 45);
+}
+
+// --------------------------------------------------------------- log ----
+
+TEST(Log, ParseLogLevelReportsRecognition) {
+  bool recognized = false;
+  EXPECT_EQ(ParseLogLevel("info", &recognized), LogLevel::kInfo);
+  EXPECT_TRUE(recognized);
+  EXPECT_EQ(ParseLogLevel("ERROR", &recognized), LogLevel::kError);
+  EXPECT_TRUE(recognized);
+  EXPECT_EQ(ParseLogLevel("warn", &recognized), LogLevel::kWarn);
+  EXPECT_TRUE(recognized);
+  // Unknown strings fall back to kWarn but flag the fallback, so the env
+  // parser can warn instead of silently downgrading a typo'd TRACE.
+  EXPECT_EQ(ParseLogLevel("verbose", &recognized), LogLevel::kWarn);
+  EXPECT_FALSE(recognized);
+  EXPECT_EQ(ParseLogLevel("", &recognized), LogLevel::kWarn);
+  EXPECT_FALSE(recognized);
+  // Single-argument overload still just maps unknowns to kWarn.
+  EXPECT_EQ(ParseLogLevel("bogus"), LogLevel::kWarn);
+}
+
+int CountOccurrences(const std::string& text, const std::string& needle) {
+  int count = 0;
+  for (std::size_t pos = 0;
+       (pos = text.find(needle, pos)) != std::string::npos; ++pos)
+    ++count;
+  return count;
+}
+
+TEST(Log, LogEveryNEmitsFirstOfEachWindow) {
+  SetLogLevel(LogLevel::kWarn);
+  testing::internal::CaptureStderr();
+  for (int i = 0; i < 10; ++i)
+    TSF_LOG_EVERY_N(WARN, 3) << "every-n marker " << i;
+  const std::string err = testing::internal::GetCapturedStderr();
+  // Records 1, 4, 7, 10 pass the modulus (i = 0, 3, 6, 9).
+  EXPECT_EQ(CountOccurrences(err, "every-n marker"), 4);
+  EXPECT_NE(err.find("every-n marker 0"), std::string::npos);
+  EXPECT_NE(err.find("every-n marker 9"), std::string::npos);
+  EXPECT_EQ(err.find("every-n marker 1"), std::string::npos);
+}
+
+TEST(Log, LogEveryNSuppressedRecordsDoNotAdvanceCadence) {
+  // While the level filters the site out, the counter must not move: once
+  // the level drops, the cadence restarts at the first record.
+  SetLogLevel(LogLevel::kError);
+  testing::internal::CaptureStderr();
+  for (int i = 0; i < 13; ++i) {
+    if (i == 7) SetLogLevel(LogLevel::kInfo);
+    TSF_LOG_EVERY_N(INFO, 5) << "cadence " << i;  // one site for all 13
+  }
+  const std::string err = testing::internal::GetCapturedStderr();
+  SetLogLevel(LogLevel::kWarn);
+  // i = 0..6 are filtered by level and must not consume counts, so the
+  // cadence starts fresh at i = 7 and fires again 5 records later.
+  EXPECT_EQ(CountOccurrences(err, "cadence"), 2);
+  EXPECT_NE(err.find("cadence 7"), std::string::npos);
+  EXPECT_NE(err.find("cadence 12"), std::string::npos);
+}
+
+TEST(Log, LogEveryNOneIsEveryRecord) {
+  SetLogLevel(LogLevel::kWarn);
+  testing::internal::CaptureStderr();
+  for (int i = 0; i < 3; ++i) TSF_LOG_EVERY_N(WARN, 1) << "all " << i;
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(CountOccurrences(err, "all "), 3);
 }
 
 }  // namespace

@@ -1,10 +1,20 @@
 #!/usr/bin/env sh
 # Perf-regression harness: runs the core microbenchmarks and rewrites
 # BENCH_core.json at the repo root, printing a before/after delta against
-# the committed baseline so perf changes are visible in every PR.
+# the committed baseline so perf changes are visible in every PR. The delta
+# report includes the telemetry-off overhead check: BM_TraceSimulation
+# (telemetry compiled in, runtime-disabled — the default build) must stay
+# within 2% of the committed baseline.
 #
 # Usage: tools/bench_regression.sh [build-dir]   (default: build)
+#        tools/bench_regression.sh --init [build-dir]   create a missing baseline
 set -eu
+
+init=0
+if [ "${1:-}" = "--init" ]; then
+  init=1
+  shift
+fi
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
 build_dir=${1:-"$repo_root/build"}
@@ -13,7 +23,17 @@ baseline="$repo_root/BENCH_core.json"
 fresh="$repo_root/BENCH_core.json.new"
 
 if [ ! -x "$bench" ]; then
-  echo "error: $bench not built (cmake --build $build_dir --target bench_perf_core)" >&2
+  echo "error: benchmark binary $bench is missing or not executable." >&2
+  echo "build it first:" >&2
+  echo "  cmake -B $build_dir -S $repo_root -DTSF_BUILD_BENCH=ON" >&2
+  echo "  cmake --build $build_dir --target bench_perf_core -j" >&2
+  exit 1
+fi
+
+if [ ! -f "$baseline" ] && [ "$init" -eq 0 ]; then
+  echo "error: baseline $baseline is missing — a diff against nothing would" >&2
+  echo "silently record whatever this machine produces as the new truth." >&2
+  echo "rerun as: tools/bench_regression.sh --init $build_dir" >&2
   exit 1
 fi
 
@@ -23,8 +43,14 @@ fi
 if [ -f "$baseline" ]; then
   python3 - "$baseline" "$fresh" <<'EOF'
 import json, sys
-old = {b["name"]: b for b in json.load(open(sys.argv[1]))["benchmarks"]}
-new = {b["name"]: b for b in json.load(open(sys.argv[2]))["benchmarks"]}
+
+def timed(path):
+    # Complexity-fit rows (_BigO, _RMS) carry no real_time; skip them.
+    return {b["name"]: b for b in json.load(open(path))["benchmarks"]
+            if "real_time" in b}
+
+old = timed(sys.argv[1])
+new = timed(sys.argv[2])
 print(f"{'benchmark':40s} {'old':>12s} {'new':>12s} {'speedup':>8s}")
 for name, b in new.items():
     if name not in old:
@@ -33,7 +59,24 @@ for name, b in new.items():
     o, n = old[name]["real_time"], b["real_time"]
     unit = b["time_unit"]
     print(f"{name:40s} {o:>10.1f}{unit:<2s} {n:>10.1f}{unit:<2s} {o / n:>7.2f}x")
+
+# Telemetry-off overhead check (see tools/check_telemetry_overhead.sh for
+# the stricter compiled-out vs compiled-in gate): the default build carries
+# telemetry compiled in but disabled, so BM_TraceSimulation drifting beyond
+# 2% of the committed baseline flags instrumentation creep on the hot path.
+name = "BM_TraceSimulation"
+if name in old and name in new:
+    o, n = old[name]["real_time"], new[name]["real_time"]
+    delta_pct = (n - o) / o * 100.0
+    verdict = "PASS" if delta_pct <= 2.0 else "FAIL (investigate before committing)"
+    print(f"\ntelemetry-off overhead check: {name} {delta_pct:+.2f}% "
+          f"vs baseline (limit +2%) — {verdict}")
+else:
+    print(f"\ntelemetry-off overhead check: {name} missing from "
+          "baseline or fresh run — SKIPPED")
 EOF
+else
+  echo "no baseline to diff against; creating $baseline (--init)"
 fi
 
 mv "$fresh" "$baseline"

@@ -1,0 +1,61 @@
+#!/usr/bin/env sh
+# CI gate for the telemetry layer's "zero overhead when disabled" claim.
+#
+# Builds bench_perf_core twice — once with telemetry compiled out
+# (-DTSF_TELEMETRY=OFF) and once compiled in but runtime-disabled (the
+# default) — runs BM_TraceSimulation in both, and fails if the
+# compiled-in-but-disabled median regresses more than TSF_OVERHEAD_LIMIT_PCT
+# (default 2) percent against compiled-out.
+#
+# Usage: tools/check_telemetry_overhead.sh [repetitions]   (default: 7)
+set -eu
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+reps=${1:-7}
+limit=${TSF_OVERHEAD_LIMIT_PCT:-2}
+filter='BM_TraceSimulation'
+
+build_and_run() {
+  # $1 = build dir, $2 = extra cmake args, $3 = output json
+  cmake -B "$1" -S "$repo_root" -DTSF_BUILD_TESTS=OFF -DTSF_BUILD_EXAMPLES=OFF \
+    -DTSF_BUILD_TOOLS=OFF $2 > /dev/null
+  cmake --build "$1" --target bench_perf_core -j "$(nproc 2>/dev/null || echo 4)" > /dev/null
+  "$1/bench/bench_perf_core" \
+    --benchmark_filter="$filter" \
+    --benchmark_repetitions="$reps" \
+    --benchmark_report_aggregates_only=true \
+    --benchmark_out="$3" --benchmark_out_format=json
+}
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+echo "== building telemetry-compiled-out baseline =="
+build_and_run "$repo_root/build-telemetry-off" "-DTSF_TELEMETRY=OFF" "$workdir/off.json"
+echo "== building telemetry-compiled-in (runtime-disabled) =="
+build_and_run "$repo_root/build-telemetry-on" "-DTSF_TELEMETRY=ON" "$workdir/on.json"
+
+python3 - "$workdir/off.json" "$workdir/on.json" "$limit" <<'EOF'
+import json, sys
+
+def median(path):
+    benches = json.load(open(path))["benchmarks"]
+    for b in benches:
+        if b.get("aggregate_name") == "median":
+            return b["real_time"], b["time_unit"]
+    # Unaggregated fallback (repetitions == 1).
+    times = sorted(b["real_time"] for b in benches)
+    return times[len(times) // 2], benches[0]["time_unit"]
+
+off, unit = median(sys.argv[1])
+on, _ = median(sys.argv[2])
+limit = float(sys.argv[3])
+delta_pct = (on - off) / off * 100.0
+print(f"BM_TraceSimulation median: compiled-out {off:.2f}{unit}, "
+      f"compiled-in-disabled {on:.2f}{unit}, delta {delta_pct:+.2f}% "
+      f"(limit +{limit:.0f}%)")
+if delta_pct > limit:
+    print("FAIL: disabled-mode telemetry overhead exceeds the limit")
+    sys.exit(1)
+print("PASS: disabled-mode telemetry overhead within the limit")
+EOF

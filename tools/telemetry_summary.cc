@@ -1,0 +1,147 @@
+// Pretty-prints a metrics JSONL snapshot produced by
+// telemetry::Registry::WriteJsonlSnapshot (e.g. <telemetry_dir>/metrics.jsonl
+// from any bench binary run with --telemetry_dir).
+//
+//   telemetry_summary out/metrics.jsonl
+//
+// Counters and gauges print as aligned name/value rows; histograms add
+// mean/stddev/min/max and an ASCII sketch of the log-bucket mass.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// Extracts the value of `"key":"..."` (string) from a JSONL line written by
+// the metrics writer; names are escaped, which this un-escapes for display.
+bool FindString(const std::string& line, const char* key, std::string* out) {
+  const std::string needle = std::string("\"") + key + "\":\"";
+  const std::size_t start = line.find(needle);
+  if (start == std::string::npos) return false;
+  out->clear();
+  for (std::size_t i = start + needle.size(); i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '\\' && i + 1 < line.size()) {
+      out->push_back(line[++i]);
+      continue;
+    }
+    if (c == '"') return true;
+    out->push_back(c);
+  }
+  return false;
+}
+
+bool FindNumber(const std::string& line, const char* key, double* out) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t start = line.find(needle);
+  if (start == std::string::npos) return false;
+  *out = std::strtod(line.c_str() + start + needle.size(), nullptr);
+  return true;
+}
+
+// Pulls the {"ge":g,"count":n} pairs out of the buckets array.
+void FindBuckets(const std::string& line,
+                 std::vector<std::pair<double, double>>* out) {
+  out->clear();
+  std::size_t pos = line.find("\"buckets\":[");
+  if (pos == std::string::npos) return;
+  while ((pos = line.find("{\"ge\":", pos)) != std::string::npos) {
+    const double ge = std::strtod(line.c_str() + pos + 6, nullptr);
+    const std::size_t count_pos = line.find("\"count\":", pos);
+    if (count_pos == std::string::npos) break;
+    const double count = std::strtod(line.c_str() + count_pos + 8, nullptr);
+    out->emplace_back(ge, count);
+    pos = count_pos;
+  }
+}
+
+std::string Bar(double fraction, int width) {
+  const int fill = static_cast<int>(std::lround(fraction * width));
+  return std::string(static_cast<std::size_t>(std::clamp(fill, 0, width)), '#');
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <metrics.jsonl>\n", argv[0]);
+    return 2;
+  }
+  std::ifstream file(argv[1]);
+  if (!file) {
+    std::fprintf(stderr, "error: cannot open %s\n", argv[1]);
+    return 1;
+  }
+
+  struct Scalar {
+    std::string name;
+    double value = 0.0;
+  };
+  std::vector<Scalar> counters, gauges;
+  std::vector<std::string> histogram_lines;
+
+  std::string line;
+  while (std::getline(file, line)) {
+    if (line.empty()) continue;
+    std::string type, name;
+    if (!FindString(line, "type", &type) || !FindString(line, "name", &name)) {
+      std::fprintf(stderr, "warning: skipping malformed line: %s\n",
+                   line.c_str());
+      continue;
+    }
+    double value = 0.0;
+    if (type == "counter" && FindNumber(line, "value", &value))
+      counters.push_back({name, value});
+    else if (type == "gauge" && FindNumber(line, "value", &value))
+      gauges.push_back({name, value});
+    else if (type == "histogram")
+      histogram_lines.push_back(line);
+  }
+
+  std::size_t width = 24;
+  for (const Scalar& s : counters) width = std::max(width, s.name.size());
+  for (const Scalar& s : gauges) width = std::max(width, s.name.size());
+
+  if (!counters.empty()) {
+    std::printf("counters:\n");
+    for (const Scalar& s : counters)
+      std::printf("  %-*s %14.0f\n", static_cast<int>(width), s.name.c_str(),
+                  s.value);
+  }
+  if (!gauges.empty()) {
+    std::printf("%sgauges:\n", counters.empty() ? "" : "\n");
+    for (const Scalar& s : gauges)
+      std::printf("  %-*s %14.3f\n", static_cast<int>(width), s.name.c_str(),
+                  s.value);
+  }
+  if (!histogram_lines.empty()) {
+    std::printf("%shistograms:\n", counters.empty() && gauges.empty() ? "" : "\n");
+    std::string name;
+    std::vector<std::pair<double, double>> buckets;
+    for (const std::string& h : histogram_lines) {
+      double count = 0, mean = 0, variance = 0, min = 0, max = 0;
+      FindString(h, "name", &name);
+      FindNumber(h, "count", &count);
+      FindNumber(h, "mean", &mean);
+      FindNumber(h, "variance", &variance);
+      FindNumber(h, "min", &min);
+      FindNumber(h, "max", &max);
+      FindBuckets(h, &buckets);
+      std::printf("  %s\n", name.c_str());
+      std::printf("    count=%.0f mean=%.4g stddev=%.4g min=%.4g max=%.4g\n",
+                  count, mean, std::sqrt(variance), min, max);
+      double total = 0;
+      for (const auto& [ge, n] : buckets) total += n;
+      for (const auto& [ge, n] : buckets)
+        std::printf("    >= %-10.4g %12.0f  %s\n", ge, n,
+                    Bar(total > 0 ? n / total : 0.0, 40).c_str());
+    }
+  }
+  if (counters.empty() && gauges.empty() && histogram_lines.empty())
+    std::printf("(no metrics in %s — was telemetry enabled?)\n", argv[1]);
+  return 0;
+}
