@@ -44,6 +44,10 @@ std::vector<MachineId> SortedUnique(std::vector<MachineId> machines) {
 }  // namespace
 
 Constraint Constraint::Whitelist(std::vector<MachineId> machines) {
+  // P.7 fail-early: a whitelist of zero machines means the job can run
+  // nowhere; catching it here beats the downstream "no machine satisfies
+  // the constraint" failure after the cluster is already compiled.
+  TSF_CHECK(!machines.empty()) << "whitelist of zero machines";
   Constraint c;
   c.kind_ = Kind::kWhitelist;
   c.machines_ = SortedUnique(std::move(machines));

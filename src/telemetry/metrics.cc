@@ -5,6 +5,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "telemetry/spinlock.h"
+
 namespace tsf::telemetry {
 
 namespace internal {
@@ -59,8 +61,7 @@ std::size_t Histogram::BucketIndex(double value) {
 void Histogram::Record(double value) {
   Shard& shard = shards_[internal::ThisThreadShard()];
   shard.buckets[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
-  while (shard.lock.test_and_set(std::memory_order_acquire)) {
-  }
+  const SpinGuard guard(shard.lock);
   if (shard.count == 0) {
     shard.min = value;
     shard.max = value;
@@ -72,21 +73,20 @@ void Histogram::Record(double value) {
   const double delta = value - shard.mean;
   shard.mean += delta / static_cast<double>(shard.count);
   shard.m2 += delta * (value - shard.mean);
-  shard.lock.clear(std::memory_order_release);
 }
 
 HistogramSnapshot Histogram::Snapshot() const {
   HistogramSnapshot merged;
   for (const Shard& shard : shards_) {
     HistogramSnapshot piece;
-    while (shard.lock.test_and_set(std::memory_order_acquire)) {
+    {
+      const SpinGuard guard(shard.lock);
+      piece.count = shard.count;
+      piece.mean = shard.mean;
+      piece.m2 = shard.m2;
+      piece.min = shard.min;
+      piece.max = shard.max;
     }
-    piece.count = shard.count;
-    piece.mean = shard.mean;
-    piece.m2 = shard.m2;
-    piece.min = shard.min;
-    piece.max = shard.max;
-    shard.lock.clear(std::memory_order_release);
     for (std::size_t b = 0; b < kBuckets; ++b)
       piece.buckets[b] = shard.buckets[b].load(std::memory_order_relaxed);
     merged.Merge(piece);

@@ -42,6 +42,13 @@ inline constexpr std::size_t kShards = 16;
 
 // Global runtime switch read by the TSF_* metric macros. Off by default so
 // unexercised instrumentation costs one relaxed load + branch per site.
+//
+// memory_order_relaxed is sound here because the flag publishes no data:
+// every structure reachable after the branch is independently synchronized
+// (registry lookups under a mutex, counter cells and histogram buckets are
+// atomics, histogram moments sit behind a per-shard spinlock). A thread
+// observing a stale flag value merely records or skips a few extra samples
+// around the toggle, which SetEnabled's callers (run setup/teardown) accept.
 inline bool Enabled() {
   return internal::g_metrics_enabled.load(std::memory_order_relaxed);
 }

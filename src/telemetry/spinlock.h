@@ -1,0 +1,33 @@
+// RAII guard for the telemetry layer's std::atomic_flag spinlocks.
+//
+// The hot-path locks in metrics.cc (per-shard Welford moments) and trace.cc
+// (per-thread ring buffers) are designed to be uncontended — a spin is the
+// rare case — so a test_and_set/clear pair is the whole protocol. This guard
+// keeps the pair exception-safe and impossible to mismatch: acquire in the
+// constructor (acquire ordering, so guarded reads see the previous holder's
+// writes), release in the destructor (release ordering, publishing ours).
+//
+// telemetry has no repo dependencies (util links it PUBLIC), so this lives
+// here rather than in src/util.
+#pragma once
+
+#include <atomic>
+
+namespace tsf::telemetry {
+
+class [[nodiscard]] SpinGuard {
+ public:
+  explicit SpinGuard(std::atomic_flag& flag) : flag_(flag) {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  ~SpinGuard() { flag_.clear(std::memory_order_release); }
+
+  SpinGuard(const SpinGuard&) = delete;
+  SpinGuard& operator=(const SpinGuard&) = delete;
+
+ private:
+  std::atomic_flag& flag_;
+};
+
+}  // namespace tsf::telemetry

@@ -1,6 +1,7 @@
 #include "telemetry/trace.h"
 
 #include "telemetry/metrics.h"  // AppendJsonEscaped
+#include "telemetry/spinlock.h"
 
 #include <algorithm>
 #include <chrono>
@@ -22,15 +23,6 @@ std::int64_t SteadyNowNs() {
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
-
-struct SpinGuard {
-  explicit SpinGuard(std::atomic_flag& flag) : flag_(flag) {
-    while (flag_.test_and_set(std::memory_order_acquire)) {
-    }
-  }
-  ~SpinGuard() { flag_.clear(std::memory_order_release); }
-  std::atomic_flag& flag_;
-};
 
 }  // namespace
 
@@ -91,10 +83,17 @@ void Tracer::Start(std::size_t events_per_thread) {
     buffer->dropped = 0;
   }
   origin_ns_.store(SteadyNowNs(), std::memory_order_relaxed);
-  internal::g_trace_active.store(true, std::memory_order_relaxed);
+  // Release pairs with the acquire load in TraceActive(): a thread that
+  // observes the session as active also observes the cleared buffers and the
+  // stamped origin above, so it cannot compute a timestamp against a stale
+  // origin or append into a ring the clear loop is still resetting.
+  internal::g_trace_active.store(true, std::memory_order_release);
 }
 
 void Tracer::Stop() {
+  // Relaxed is enough to stop: late appends from threads that still see the
+  // session as active land under the per-buffer spinlocks WriteChromeTrace
+  // also takes, so a straggling record is benign, never a race.
   internal::g_trace_active.store(false, std::memory_order_relaxed);
 }
 

@@ -26,9 +26,12 @@ namespace internal {
 extern std::atomic<bool> g_trace_active;
 }  // namespace internal
 
-// True while a trace session is open; the macros' one-branch gate.
+// True while a trace session is open; the macros' one-branch gate. The
+// acquire pairs with Start()'s release store so an observer of `true` also
+// sees the session origin and cleared buffers (free on x86, and the load
+// still folds into the same one-load-one-branch disabled cost).
 inline bool TraceActive() {
-  return internal::g_trace_active.load(std::memory_order_relaxed);
+  return internal::g_trace_active.load(std::memory_order_acquire);
 }
 
 struct TraceRecord {

@@ -6,9 +6,24 @@
 //
 //   TSF_CHECK(x >= 0) << "x went negative: " << x;
 //
+// The _EQ/_NE/_LT/_LE/_GT/_GE variants additionally stream both operands on
+// failure; TSF_DCHECK_* are their compiled-out-in-NDEBUG twins, so hot paths
+// get operand diagnostics in debug builds at zero release cost.
+//
 // Following the Core Guidelines (P.7: catch run-time errors early; I.6/I.8:
 // state preconditions), library entry points validate their inputs with
-// TSF_CHECK rather than silently producing garbage.
+// TSF_CHECK rather than silently producing garbage. tools/lint_repo.py
+// enforces that rule mechanically for src/core and src/sim.
+//
+// Parse-safety: each macro expands to a single *expression* statement — a
+// fully parenthesized-condition ternary whose false arm is voidified — never
+// to an if/else fragment. An expression cannot capture a following `else`,
+// so `if (x) TSF_CHECK(y) << "ctx"; else Handle();` binds the else to the
+// user's if, exactly as written. (A statement-shaped expansion such as
+// `if (cond) {} else builder` — even fenced behind `switch (0)` — trips
+// gcc's -Wdangling-else at every `if (x) TSF_CHECK(y);` call site.) The
+// top-level CMakeLists promotes -Wdangling-else to an error so a regression
+// of this property cannot land silently; util_test has the parse cases.
 #pragma once
 
 #include <sstream>
@@ -71,8 +86,8 @@ struct NullVoidifier {
 }  // namespace tsf
 
 #define TSF_CHECK(cond)       \
-  (cond) ? (void)0            \
-         : ::tsf::detail::Voidifier() & ::tsf::detail::CheckMessageBuilder(__FILE__, __LINE__, #cond)
+  ((cond)) ? (void)0          \
+           : ::tsf::detail::Voidifier() & ::tsf::detail::CheckMessageBuilder(__FILE__, __LINE__, #cond)
 
 #define TSF_CHECK_OP(a, op, b) TSF_CHECK((a)op(b)) << " lhs=" << (a) << " rhs=" << (b)
 #define TSF_CHECK_EQ(a, b) TSF_CHECK_OP(a, ==, b)
@@ -83,8 +98,21 @@ struct NullVoidifier {
 #define TSF_CHECK_GE(a, b) TSF_CHECK_OP(a, >=, b)
 
 #ifdef NDEBUG
-#define TSF_DCHECK(cond) \
-  true ? (void)0 : ::tsf::detail::NullVoidifier() & ::tsf::detail::NullStream()
+// `true || (cond)` never evaluates cond but keeps its operands odr-used, so
+// variables referenced only from a TSF_DCHECK do not turn -Wunused in
+// release builds; the short-circuit, dead arm, and NullStream all fold away.
+#define TSF_DCHECK(cond)         \
+  (true || (cond)) ? (void)0    \
+                   : ::tsf::detail::NullVoidifier() & ::tsf::detail::NullStream()
+#define TSF_DCHECK_OP(a, op, b) TSF_DCHECK((a)op(b)) << (a) << (b)
 #else
 #define TSF_DCHECK(cond) TSF_CHECK(cond)
+#define TSF_DCHECK_OP(a, op, b) TSF_CHECK_OP(a, op, b)
 #endif
+
+#define TSF_DCHECK_EQ(a, b) TSF_DCHECK_OP(a, ==, b)
+#define TSF_DCHECK_NE(a, b) TSF_DCHECK_OP(a, !=, b)
+#define TSF_DCHECK_LT(a, b) TSF_DCHECK_OP(a, <, b)
+#define TSF_DCHECK_LE(a, b) TSF_DCHECK_OP(a, <=, b)
+#define TSF_DCHECK_GT(a, b) TSF_DCHECK_OP(a, >, b)
+#define TSF_DCHECK_GE(a, b) TSF_DCHECK_OP(a, >=, b)

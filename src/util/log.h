@@ -72,6 +72,10 @@ struct LogVoidifier {
 #define TSF_LOG_WARN ::tsf::LogLevel::kWarn
 #define TSF_LOG_ERROR ::tsf::LogLevel::kError
 
+// Like TSF_CHECK (util/check.h), the macros expand to a single voidified
+// ternary *expression*, never an if/else fragment — an expression cannot
+// capture a following `else`, so `if (x) TSF_LOG(WARN) << ...; else ...`
+// parses as written (and -Werror=dangling-else keeps it that way).
 #define TSF_LOG(severity)                                          \
   (TSF_LOG_##severity < ::tsf::GetLogLevel())                      \
       ? (void)0                                                    \

@@ -1,0 +1,282 @@
+// Multi-threaded stress tests for every concurrent subsystem: the metrics
+// registry, the tracer, ThreadPool, RunSeeds, and the Mesos offer loop.
+//
+// These tests exist primarily as ThreadSanitizer fodder — the TSan preset
+// (cmake --preset tsan) runs them with full race instrumentation and any
+// report fails the build (tools/analyze.sh step `tsan`). They assert real
+// invariants too (exact counter totals, conserved placements), so they pull
+// their weight under the plain build as well.
+//
+// Each TEST runs in its own process (gtest_discover_tests registers them
+// individually), so tests may flip the global telemetry flags freely.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "mesos/mesos.h"
+#include "sim/runner.h"
+#include "sim/workload.h"
+#include "telemetry/metrics.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
+#include "util/log.h"
+#include "util/thread_pool.h"
+
+namespace tsf {
+namespace {
+
+constexpr std::size_t kThreads = 8;
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// ------------------------------------------------------------ metrics ----
+
+TEST(MetricsStress, CountersAndHistogramsUnderContention) {
+  telemetry::SetEnabled(true);
+  constexpr std::int64_t kPerThread = 4000;
+  ThreadPool pool(kThreads);
+  std::atomic<bool> snapshotting{true};
+  // A dedicated snapshotter hammers Snapshot()/WriteJsonlSnapshot while the
+  // pool writes: registration, shard writes, and merges all overlap.
+  std::thread snapshotter([&] {
+    const std::string path = TempPath("tsf_stress_metrics.jsonl");
+    while (snapshotting.load(std::memory_order_acquire)) {
+      const telemetry::MetricsSnapshot snap =
+          telemetry::Registry::Get().Snapshot();
+      ASSERT_TRUE(telemetry::Registry::Get().WriteJsonlSnapshot(path));
+      for (const auto& [name, total] : snap.counters)
+        ASSERT_GE(total, 0) << name;
+    }
+  });
+  pool.ParallelFor(kThreads, [&](std::size_t t) {
+    for (std::int64_t i = 0; i < kPerThread; ++i) {
+      TSF_COUNTER_ADD("stress.ops", 1);
+      TSF_GAUGE_SET("stress.last_thread", t);
+      TSF_HISTOGRAM_RECORD("stress.value", static_cast<double>(i));
+    }
+  });
+  snapshotting.store(false, std::memory_order_release);
+  snapshotter.join();
+
+  const auto total =
+      telemetry::Registry::Get().GetCounter("stress.ops").Total();
+  EXPECT_EQ(total, static_cast<std::int64_t>(kThreads) * kPerThread);
+  const telemetry::HistogramSnapshot hist =
+      telemetry::Registry::Get().GetHistogram("stress.value").Snapshot();
+  EXPECT_EQ(hist.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_NEAR(hist.mean, (kPerThread - 1) / 2.0, 1e-6);
+  telemetry::SetEnabled(false);
+}
+
+TEST(MetricsStress, EnableToggleRacesWriters) {
+  constexpr int kToggles = 400;
+  ThreadPool pool(kThreads);
+  std::atomic<bool> done{false};
+  pool.Submit([&] {
+    for (int i = 0; i < kToggles; ++i) telemetry::SetEnabled(i % 2 == 0);
+    telemetry::SetEnabled(true);
+    done.store(true, std::memory_order_release);
+  });
+  pool.ParallelFor(kThreads - 1, [&](std::size_t) {
+    // Spin until the toggler finished so the tail of the loop runs with
+    // telemetry definitely on; the head races the toggles on purpose.
+    for (int i = 0; i < 20000 || !done.load(std::memory_order_acquire); ++i)
+      TSF_COUNTER_ADD("stress.toggle_ops", 1);
+  });
+  pool.Wait();
+  EXPECT_GT(telemetry::Registry::Get().GetCounter("stress.toggle_ops").Total(),
+            0);
+  telemetry::SetEnabled(false);
+}
+
+// ------------------------------------------------------------- tracer ----
+
+TEST(TracerStress, SpansFromManyThreadsWithConcurrentDrain) {
+  constexpr int kPerThread = 3000;
+  telemetry::Tracer& tracer = telemetry::Tracer::Get();
+  tracer.Start(/*events_per_thread=*/1024);  // small ring: force wrap-around
+  ThreadPool pool(kThreads);
+  std::atomic<bool> draining{true};
+  std::thread drainer([&] {
+    const std::string path = TempPath("tsf_stress_trace.json");
+    while (draining.load(std::memory_order_acquire)) {
+      (void)tracer.BufferedRecords();
+      (void)tracer.DroppedRecords();
+      ASSERT_TRUE(tracer.WriteChromeTrace(path));
+    }
+  });
+  pool.ParallelFor(kThreads, [&](std::size_t t) {
+    const char* mine =
+        tracer.Intern("stress/thread_" + std::to_string(t));
+    for (int i = 0; i < kPerThread; ++i) {
+      TSF_TRACE_SCOPE("stress", "span");
+      TSF_TRACE_INSTANT("stress", mine);
+      TSF_TRACE_COUNTER("stress", "i", i);
+    }
+  });
+  draining.store(false, std::memory_order_release);
+  drainer.join();
+  tracer.Stop();
+
+  const std::string path = TempPath("tsf_stress_trace_final.json");
+  ASSERT_TRUE(tracer.WriteChromeTrace(path));
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  // 3 records per iteration per thread through rings of 1024: most overflow.
+  EXPECT_GT(tracer.DroppedRecords(), 0u);
+  EXPECT_LE(tracer.BufferedRecords(), kThreads * 1024u + 1024u);
+}
+
+TEST(TracerStress, RestartWhileAppending) {
+  constexpr int kRestarts = 50;
+  telemetry::Tracer& tracer = telemetry::Tracer::Get();
+  tracer.Start(256);
+  ThreadPool pool(kThreads);
+  std::atomic<bool> stop{false};
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    pool.Submit([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        TSF_TRACE_SCOPE("stress", "restart_span");
+        TSF_TRACE_INSTANT("stress", "restart_tick");
+      }
+    });
+  }
+  // Session restarts clear every ring buffer while the writers above are
+  // mid-append; the per-buffer spinlocks must serialize that.
+  for (int r = 0; r < kRestarts; ++r) tracer.Start(256);
+  stop.store(true, std::memory_order_release);
+  pool.Wait();
+  tracer.Stop();
+  ASSERT_TRUE(tracer.WriteChromeTrace(TempPath("tsf_stress_restart.json")));
+}
+
+// -------------------------------------------------------- thread pool ----
+
+TEST(ThreadPoolStress, SubmitWaitParallelForInterleaved) {
+  ThreadPool pool(kThreads);
+  std::atomic<std::int64_t> sum{0};
+  for (int round = 0; round < 20; ++round) {
+    for (int b = 0; b < 32; ++b)
+      pool.Submit([&] { sum.fetch_add(1, std::memory_order_relaxed); });
+    pool.ParallelFor(64, [&](std::size_t) {
+      sum.fetch_add(1, std::memory_order_relaxed);
+    });
+    // ParallelFor waits for *all* in-flight tasks, including the Submits.
+    EXPECT_EQ(sum.load(), (round + 1) * (32 + 64));
+  }
+}
+
+// ------------------------------------------------------------- runner ----
+
+Workload StressWorkload(std::uint64_t seed) {
+  Cluster cluster;
+  cluster.AddMachine(ResourceVector{4.0, 8.0});
+  cluster.AddMachine(ResourceVector{8.0, 4.0});
+  Workload workload;
+  workload.cluster = cluster;
+  for (int j = 0; j < 4; ++j) {
+    JobSpec spec;
+    spec.id = j;
+    spec.name = "job" + std::to_string(j);
+    spec.demand = ResourceVector{1.0, 1.0};
+    spec.num_tasks = 6;
+    spec.arrival_time = 0.5 * j;
+    workload.jobs.push_back(
+        MakeJitteredJob(spec, /*mean_runtime=*/2.0, /*jitter=*/0.2, seed + j));
+  }
+  return workload;
+}
+
+TEST(RunSeedsStress, SeedPolicyGridWithTelemetryAndTraceEnabled) {
+  telemetry::SetEnabled(true);
+  telemetry::Tracer::Get().Start(4096);
+  const std::vector<OnlinePolicy> policies = {
+      OnlinePolicy::Tsf(), OnlinePolicy::Drf(), OnlinePolicy::Fifo()};
+  ThreadPool pool(kThreads);
+  std::mutex mutex;
+  std::set<std::uint64_t> reduced;
+  RunSeeds(StressWorkload, policies, /*first_seed=*/1, /*num_seeds=*/8, pool,
+           [&](std::uint64_t seed, const std::vector<SimResult>& results) {
+             const std::lock_guard lock(mutex);
+             ASSERT_EQ(results.size(), policies.size());
+             for (const SimResult& result : results) {
+               EXPECT_GT(result.makespan, 0.0);
+               EXPECT_EQ(result.jobs.size(), 4u);
+             }
+             reduced.insert(seed);
+           });
+  telemetry::Tracer::Get().Stop();
+  telemetry::SetEnabled(false);
+  EXPECT_EQ(reduced.size(), 8u);
+  EXPECT_EQ(*reduced.begin(), 1u);
+  EXPECT_EQ(*reduced.rbegin(), 8u);
+}
+
+// -------------------------------------------------------------- mesos ----
+
+TEST(MesosStress, ParallelClustersShareTelemetryRegistry) {
+  telemetry::SetEnabled(true);
+  ThreadPool pool(4);
+  std::mutex mutex;
+  std::vector<double> makespans;
+  // RunCluster instances are independent (no shared mutable state), but all
+  // of them funnel counters into the one global registry concurrently.
+  pool.ParallelFor(4, [&](std::size_t k) {
+    mesos::ClusterConfig config;
+    config.slaves = {{ResourceVector{2.0, 2.0}, "s0"},
+                     {ResourceVector{2.0, 2.0}, "s1"},
+                     {ResourceVector{4.0, 1.0}, "s2"}};
+    config.policy = k % 2 == 0 ? mesos::AllocatorPolicy::kTsf
+                               : mesos::AllocatorPolicy::kDrf;
+    config.seed = 17 + k;
+    config.sample_interval = 0.5;
+    std::vector<mesos::FrameworkSpec> frameworks(3);
+    for (std::size_t f = 0; f < frameworks.size(); ++f) {
+      frameworks[f].name = "fw" + std::to_string(f);
+      frameworks[f].num_tasks = 12;
+      frameworks[f].demand = ResourceVector{1.0, 0.5};
+      frameworks[f].mean_runtime = 1.0;
+      if (f == 2) frameworks[f].whitelist = {0, 2};
+    }
+    const mesos::SimOutcome outcome = mesos::RunCluster(config, frameworks);
+    const std::lock_guard lock(mutex);
+    makespans.push_back(outcome.makespan);
+    for (const mesos::FrameworkStats& stats : outcome.frameworks)
+      EXPECT_EQ(stats.tasks_run, 12);
+  });
+  telemetry::SetEnabled(false);
+  ASSERT_EQ(makespans.size(), 4u);
+  for (const double m : makespans) EXPECT_GT(m, 0.0);
+  EXPECT_GT(
+      telemetry::Registry::Get().GetCounter("mesos.offers.accepted").Total(),
+      0);
+}
+
+// ---------------------------------------------------------------- log ----
+
+TEST(LogStress, RateLimitedLoggingFromManyThreads) {
+  SetLogLevel(LogLevel::kDebug);
+  ThreadPool pool(kThreads);
+  pool.ParallelFor(kThreads, [&](std::size_t t) {
+    for (int i = 0; i < 5000; ++i) {
+      // One shared site: at most a handful of the 40k passes may emit.
+      TSF_LOG_EVERY_N(DEBUG, 1000000) << "stress tick t=" << t;
+    }
+  });
+  SetLogLevel(LogLevel::kWarn);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace tsf

@@ -158,7 +158,9 @@ TEST(MultiClass, RandomizedFeasibilityAndMixInvariant) {
       for (std::size_t i = 0; i < users; ++i)
         for (std::size_t c = 0; c < compiled.mix[i].size(); ++c) {
           const double tasks = result.allocation.tasks[i][c][m];
-          if (tasks > 1e-9) EXPECT_TRUE(compiled.eligible[i].Test(m));
+          if (tasks > 1e-9) {
+            EXPECT_TRUE(compiled.eligible[i].Test(m));
+          }
           usage += tasks * compiled.demand[i][c];
         }
       for (std::size_t r = 0; r < 2; ++r)

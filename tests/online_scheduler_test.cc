@@ -225,8 +225,11 @@ TEST(OnlineScheduler, InterleavedPlacementRespectsEligibility) {
   EXPECT_TRUE(scheduler.FreeCapacity(1).IsZero(1e-9));
   EXPECT_EQ(scheduler.running(pinned), 5);
   EXPECT_EQ(scheduler.running(roamer), 5);
-  for (const auto& [user, machine] : placements)
-    if (user == pinned) EXPECT_EQ(machine, 1u);
+  for (const auto& [user, machine] : placements) {
+    if (user == pinned) {
+      EXPECT_EQ(machine, 1u);
+    }
+  }
 }
 
 TEST(OnlineScheduler, InterleavedSingleUserEqualsGreedy) {

@@ -2,7 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cctype>
 #include <set>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "util/bitset.h"
@@ -31,6 +34,50 @@ TEST(CheckDeathTest, FailingCheckOpPrintsOperands) {
   const int a = 3;
   EXPECT_DEATH(TSF_CHECK_EQ(a, 5), "lhs=3");
 }
+
+TEST(Check, DanglingElseCanary) {
+  // Compile-time regression test for the macro parse-safety rule (see the
+  // comment in util/check.h): TSF_CHECK / TSF_DCHECK / TSF_LOG used as the
+  // body of a brace-less `if` must not capture a following `else`. The
+  // build compiles this with -Werror=dangling-else, so a macro rewrite
+  // that regresses to a statement form fails right here.
+  int taken = 0;
+  const bool flag = true;
+  if (flag)
+    TSF_CHECK(1 == 1) << "then-branch";
+  else
+    taken = -1;
+  if (!flag)
+    TSF_DCHECK_EQ(2, 2);
+  else
+    taken = 1;
+  EXPECT_EQ(taken, 1);
+}
+
+TEST(Check, DcheckOpVariantsPassQuietly) {
+  TSF_DCHECK_EQ(2 + 2, 4);
+  TSF_DCHECK_NE(1, 2);
+  TSF_DCHECK_LT(1, 2);
+  TSF_DCHECK_LE(2, 2);
+  TSF_DCHECK_GT(3, 2);
+  TSF_DCHECK_GE(3, 3) << "streamed context compiles";
+  SUCCEED();
+}
+
+#ifndef NDEBUG
+TEST(CheckDeathTest, DcheckOpVariantsFireInDebugBuilds) {
+  EXPECT_DEATH(TSF_DCHECK_LT(5, 5), "lhs=5");
+}
+#else
+TEST(Check, DcheckOperandsNotEvaluatedInReleaseBuilds) {
+  // In NDEBUG builds the condition must be odr-used but never executed.
+  int calls = 0;
+  const auto count = [&calls] { return ++calls; };
+  TSF_DCHECK_EQ(count(), 1);
+  TSF_DCHECK(count() > 0) << count();
+  EXPECT_EQ(calls, 0);
+}
+#endif
 
 // ------------------------------------------------------------ bitset ----
 
@@ -122,6 +169,64 @@ TEST(DynamicBitset, CountAndMatchesMaterializedIntersection) {
   EXPECT_EQ(a.CountAnd(b), 3u);
   EXPECT_EQ(a.CountAnd(a), a.Count());
   EXPECT_EQ(DynamicBitset(150).CountAnd(a), 0u);
+}
+
+TEST(DynamicBitset, ForEachSetUntilOnEmptySetNeverCalls) {
+  DynamicBitset bits(100);
+  bool called = false;
+  const bool stopped = bits.ForEachSetUntil([&](std::size_t) {
+    called = true;
+    return true;
+  });
+  EXPECT_FALSE(stopped);
+  EXPECT_FALSE(called);
+  DynamicBitset zero(0);
+  EXPECT_FALSE(zero.ForEachSetUntil([](std::size_t) { return true; }));
+}
+
+TEST(DynamicBitset, ForEachSetUntilLastWordBoundary) {
+  // The final set bit sits exactly on the last valid index, both when the
+  // size is word-aligned (128) and when the last word is partial (129).
+  for (const std::size_t size : {128u, 129u, 64u, 65u}) {
+    DynamicBitset bits(size);
+    bits.Set(size - 1);
+    std::vector<std::size_t> seen;
+    const bool stopped = bits.ForEachSetUntil([&](std::size_t i) {
+      seen.push_back(i);
+      return i == size - 1;
+    });
+    EXPECT_TRUE(stopped) << size;
+    EXPECT_EQ(seen, std::vector<std::size_t>{size - 1}) << size;
+  }
+}
+
+TEST(DynamicBitset, ForEachSetUntilStopsOnVeryFirstBit) {
+  DynamicBitset bits(200);
+  for (const auto i : {0, 64, 199}) bits.Set(static_cast<std::size_t>(i));
+  std::size_t calls = 0;
+  EXPECT_TRUE(bits.ForEachSetUntil([&](std::size_t) {
+    ++calls;
+    return true;
+  }));
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(DynamicBitset, CountAndEdgeCases) {
+  // Both empty.
+  EXPECT_EQ(DynamicBitset(70).CountAnd(DynamicBitset(70)), 0u);
+  // Zero-size bitsets have no words at all.
+  EXPECT_EQ(DynamicBitset(0).CountAnd(DynamicBitset(0)), 0u);
+  // Last-word boundary: overlap only at the final bit of a partial word.
+  DynamicBitset a(65), b(65);
+  a.Set(64);
+  b.Set(64);
+  b.Set(63);
+  EXPECT_EQ(a.CountAnd(b), 1u);
+  EXPECT_EQ(b.CountAnd(a), 1u);
+  // Disjoint sets sharing words still count zero.
+  DynamicBitset c(65);
+  c.Set(63);
+  EXPECT_EQ(a.CountAnd(c), 0u);
 }
 
 TEST(DynamicBitset, FindFirst) {
@@ -328,6 +433,27 @@ TEST(Log, ParseLogLevelReportsRecognition) {
   EXPECT_FALSE(recognized);
   // Single-argument overload still just maps unknowns to kWarn.
   EXPECT_EQ(ParseLogLevel("bogus"), LogLevel::kWarn);
+}
+
+TEST(Log, ParseLogLevelRoundTripsEveryDocumentedLevel) {
+  // Every spelling the TSF_LOG_LEVEL error message documents
+  // ("expected trace|debug|info|warn|error"), plus the "warning" alias,
+  // in lower/upper/mixed case — all must parse with recognized=true.
+  const std::pair<const char*, LogLevel> levels[] = {
+      {"trace", LogLevel::kTrace},   {"debug", LogLevel::kDebug},
+      {"info", LogLevel::kInfo},     {"warn", LogLevel::kWarn},
+      {"warning", LogLevel::kWarn},  {"error", LogLevel::kError},
+  };
+  for (const auto& [text, expected] : levels) {
+    std::string upper(text), mixed(text);
+    for (char& ch : upper) ch = static_cast<char>(std::toupper(ch));
+    mixed[0] = static_cast<char>(std::toupper(mixed[0]));
+    for (const std::string& spelling : {std::string(text), upper, mixed}) {
+      bool recognized = false;
+      EXPECT_EQ(ParseLogLevel(spelling, &recognized), expected) << spelling;
+      EXPECT_TRUE(recognized) << spelling;
+    }
+  }
 }
 
 int CountOccurrences(const std::string& text, const std::string& needle) {

@@ -1,0 +1,97 @@
+#!/usr/bin/env sh
+# One-command correctness matrix. Runs, in order:
+#
+#   release   configure+build the release preset, run the full ctest suite
+#   asan      AddressSanitizer + UBSan build, full ctest suite
+#   tsan      ThreadSanitizer build, full ctest suite (races are fatal:
+#             TSAN_OPTIONS=halt_on_error=1 via the test preset)
+#   tidy      clang-tidy gate against tools/clang_tidy_baseline.txt
+#             (skipped with a note if clang-tidy is not installed)
+#   lint      repo-specific lints (tools/lint_repo.py) + their self-test
+#   format    clang-format --dry-run over first-party sources
+#             (skipped with a note if clang-format is not installed)
+#   bench     perf-regression smoke: build benchmarks, gate via
+#             tools/bench_regression.sh (skipped if no baseline committed)
+#
+# Usage:
+#   tools/analyze.sh              run every step
+#   tools/analyze.sh tsan lint    run a subset, in the order given
+#
+# Any step failing fails the whole run (the summary shows every step's
+# status regardless, so one failure does not hide another).
+set -u
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+cd "$repo_root"
+
+steps="${*:-release asan tsan tidy lint format bench}"
+results=""
+failed=0
+
+run_step() {
+  step="$1"
+  echo ""
+  echo "==== analyze: $step ===="
+  case "$step" in
+    release)
+      cmake --preset release &&
+      cmake --build --preset release -j "$(nproc)" &&
+      ctest --preset release -j "$(nproc)"
+      ;;
+    asan)
+      cmake --preset asan &&
+      cmake --build --preset asan -j "$(nproc)" &&
+      ctest --preset asan -j "$(nproc)"
+      ;;
+    tsan)
+      cmake --preset tsan &&
+      cmake --build --preset tsan -j "$(nproc)" &&
+      ctest --preset tsan -j "$(nproc)"
+      ;;
+    tidy)
+      # Needs compile_commands.json from any configured build dir.
+      if [ ! -f build/compile_commands.json ]; then cmake --preset release; fi
+      tools/run_clang_tidy.sh build
+      ;;
+    lint)
+      python3 tools/lint_repo.py --self-test &&
+      python3 tools/lint_repo.py
+      ;;
+    format)
+      if command -v clang-format >/dev/null 2>&1; then
+        find src bench tools tests -name '*.h' -o -name '*.cc' |
+          xargs clang-format --dry-run -Werror
+      else
+        echo "clang-format not installed; skipping"
+      fi
+      ;;
+    bench)
+      if [ ! -f BENCH_core.json ]; then
+        echo "no committed baseline (BENCH_core.json); skipping bench gate"
+      else
+        cmake --preset release -DTSF_BUILD_BENCH=ON &&
+        cmake --build --preset release --target bench_perf_core -j "$(nproc)" &&
+        tools/bench_regression.sh build
+      fi
+      ;;
+    *)
+      echo "unknown step: $step (known: release asan tsan tidy lint format bench)" >&2
+      return 2
+      ;;
+  esac
+}
+
+for step in $steps; do
+  if run_step "$step"; then
+    results="$results\n  $step: PASS"
+  else
+    results="$results\n  $step: FAIL"
+    failed=1
+  fi
+done
+
+echo ""
+echo "==== analyze summary ===="
+# shellcheck disable=SC2059 — results embeds \n escapes on purpose.
+printf "$results\n"
+exit "$failed"

@@ -1,0 +1,333 @@
+#!/usr/bin/env python3
+"""Repo-specific lints that generic tools cannot express.
+
+Rules (each maps to a documented repo convention; see DESIGN.md §7):
+
+  entry-point-checks   every .cc under src/core and src/sim validates inputs
+                       with TSF_CHECK/TSF_DCHECK (Core Guidelines P.7 — the
+                       rule stated in util/check.h). Files whose entry points
+                       are data-only constructors may be allowlisted below
+                       with a justification.
+  no-stdout            library code (src/) never writes to stdout directly:
+                       no std::cout, printf, puts, or fprintf(stdout, ...).
+                       Diagnostics go through TSF_LOG (stderr); data goes to
+                       caller-named files. tools/, bench/, examples/ are the
+                       process entry points and may print.
+  telemetry-macros     outside src/telemetry/, telemetry symbols are touched
+                       only via the TSF_* macros or inside an explicit
+                       `#if defined(TSF_TELEMETRY)` region, so
+                       -DTSF_TELEMETRY=OFF truly compiles every
+                       instrumentation site out. The always-compiled data
+                       API (FairnessSample & writers) is exempt.
+  include-cycles       the `#include "..."` graph over src/ headers is
+                       acyclic.
+  pragma-once          every header in src/, bench/, tools/ uses
+                       `#pragma once`.
+
+Usage:
+  tools/lint_repo.py [--root DIR]     lint the tree; exit 1 on any finding
+  tools/lint_repo.py --self-test      prove each rule still fires on a
+                                      known-bad synthetic input; exit 1 if
+                                      any rule has gone blind
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# ---------------------------------------------------------------- config --
+
+# entry-point-checks: files exempt from the TSF_CHECK requirement, with the
+# reason on record. Keep this list short — it is the lint's burn-down ledger.
+ENTRY_POINT_CHECK_ALLOWLIST = {
+    # Data-only constructors of the paper's worked examples; every problem
+    # they build is validated by Cluster/Compile at the consuming entry point.
+    "src/core/paper_examples.cc",
+}
+
+# telemetry-macros: always-compiled telemetry *data* API (not
+# instrumentation). The fairness timeline rides inside SimResult, so the
+# simulator references these types unconditionally by design.
+TELEMETRY_DATA_API = (
+    "FairnessSample",
+    "WriteFairnessCsv",
+    "WriteFairnessJsonl",
+)
+
+# telemetry-macros: instrumentation symbols that must stay behind the TSF_*
+# macros or an explicit #if defined(TSF_TELEMETRY) region.
+TELEMETRY_GUARDED_RE = re.compile(
+    r"telemetry::(Registry|Tracer|Counter|Gauge|Histogram\b|ScopedSpan|"
+    r"Enabled|TraceActive|SetEnabled)"
+)
+
+STDOUT_RES = (
+    re.compile(r"std::cout"),
+    # Bare or std:: printf/puts — but not snprintf/fprintf/vsnprintf (the
+    # preceding word character excludes them) and not our own identifiers.
+    re.compile(r"(?<![A-Za-z0-9_.])printf\s*\("),
+    re.compile(r"(?<![A-Za-z0-9_.])puts\s*\("),
+    re.compile(r"fprintf\s*\(\s*stdout"),
+    re.compile(r"fputs\s*\([^;]*,\s*stdout\s*\)"),
+    re.compile(r"fwrite\s*\([^;]*,\s*stdout\s*\)"),
+)
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"', re.MULTILINE)
+
+CHECK_RE = re.compile(r"\bTSF_D?CHECK")
+
+TELEMETRY_IF_RE = re.compile(
+    r"#\s*if\s+defined\s*\(\s*TSF_TELEMETRY\s*\)|#\s*ifdef\s+TSF_TELEMETRY"
+)
+
+
+def strip_comments(text):
+    """Removes // and /* */ comments (string literals are left alone: the
+    code base does not hide lint-relevant tokens inside strings)."""
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
+    return re.sub(r"//[^\n]*", "", text)
+
+
+def walk_sources(root, subdirs, exts):
+    for subdir in subdirs:
+        base = os.path.join(root, subdir)
+        for dirpath, _, filenames in os.walk(base):
+            for name in sorted(filenames):
+                if os.path.splitext(name)[1] in exts:
+                    path = os.path.join(dirpath, name)
+                    yield os.path.relpath(path, root)
+
+
+# ----------------------------------------------------------------- rules --
+# Each rule takes {relpath: text} and returns a list of findings
+# "rule: path[:line]: message".
+
+
+def rule_entry_point_checks(files):
+    findings = []
+    for path, text in sorted(files.items()):
+        if not path.endswith(".cc"):
+            continue
+        if not (path.startswith("src/core/") or path.startswith("src/sim/")):
+            continue
+        if path in ENTRY_POINT_CHECK_ALLOWLIST:
+            continue
+        if not CHECK_RE.search(strip_comments(text)):
+            findings.append(
+                f"entry-point-checks: {path}: no TSF_CHECK/TSF_DCHECK — "
+                "public entry points must validate inputs (P.7); add checks "
+                "or allowlist the file with a justification in lint_repo.py"
+            )
+    return findings
+
+
+def rule_no_stdout(files):
+    findings = []
+    for path, text in sorted(files.items()):
+        if not path.startswith("src/"):
+            continue
+        clean = strip_comments(text)
+        for lineno, line in enumerate(clean.splitlines(), 1):
+            for pattern in STDOUT_RES:
+                if pattern.search(line):
+                    findings.append(
+                        f"no-stdout: {path}:{lineno}: direct stdout write "
+                        f"({pattern.pattern!r}) — library code logs via "
+                        "TSF_LOG or writes caller-named files"
+                    )
+    return findings
+
+
+def rule_telemetry_macros(files):
+    findings = []
+    for path, text in sorted(files.items()):
+        if not path.startswith("src/") or path.startswith("src/telemetry/"):
+            continue
+        clean = strip_comments(text)
+        # Track #if nesting; inside_guard counts TSF_TELEMETRY regions.
+        depth_stack = []  # True where the level was opened by a telemetry #if
+        for lineno, line in enumerate(clean.splitlines(), 1):
+            stripped = line.strip()
+            if stripped.startswith("#"):
+                if TELEMETRY_IF_RE.search(line):
+                    depth_stack.append(True)
+                    continue
+                if re.match(r"#\s*(if|ifdef|ifndef)\b", stripped):
+                    depth_stack.append(False)
+                    continue
+                if re.match(r"#\s*endif\b", stripped) and depth_stack:
+                    depth_stack.pop()
+                    continue
+            match = TELEMETRY_GUARDED_RE.search(line)
+            if match and not any(depth_stack):
+                if any(api in line for api in TELEMETRY_DATA_API):
+                    continue
+                findings.append(
+                    f"telemetry-macros: {path}:{lineno}: unguarded "
+                    f"`{match.group(0)}` — use a TSF_* macro or wrap in "
+                    "#if defined(TSF_TELEMETRY) so -DTSF_TELEMETRY=OFF "
+                    "compiles it out"
+                )
+    return findings
+
+
+def rule_include_cycles(files):
+    headers = {p: t for p, t in files.items() if p.startswith("src/") and p.endswith(".h")}
+    graph = {}
+    for path, text in headers.items():
+        deps = []
+        for inc in INCLUDE_RE.findall(strip_comments(text)):
+            target = "src/" + inc
+            if target in headers:
+                deps.append(target)
+        graph[path] = deps
+
+    findings = []
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in graph}
+
+    def dfs(node, stack):
+        color[node] = GRAY
+        stack.append(node)
+        for dep in graph[node]:
+            if color[dep] == GRAY:
+                cycle = stack[stack.index(dep):] + [dep]
+                findings.append(
+                    "include-cycles: " + " -> ".join(cycle)
+                )
+            elif color[dep] == WHITE:
+                dfs(dep, stack)
+        stack.pop()
+        color[node] = BLACK
+
+    for node in sorted(graph):
+        if color[node] == WHITE:
+            dfs(node, [])
+    return findings
+
+
+def rule_pragma_once(files):
+    findings = []
+    for path, text in sorted(files.items()):
+        if not path.endswith(".h"):
+            continue
+        if "#pragma once" not in text:
+            findings.append(f"pragma-once: {path}: header lacks `#pragma once`")
+    return findings
+
+
+RULES = (
+    rule_entry_point_checks,
+    rule_no_stdout,
+    rule_telemetry_macros,
+    rule_include_cycles,
+    rule_pragma_once,
+)
+
+
+def load_tree(root):
+    files = {}
+    for rel in walk_sources(root, ("src", "bench", "tools"),
+                            {".h", ".cc", ".cpp"}):
+        with open(os.path.join(root, rel), encoding="utf-8") as f:
+            files[rel] = f.read()
+    return files
+
+
+def run_lint(root):
+    files = load_tree(root)
+    findings = []
+    for rule in RULES:
+        findings.extend(rule(files))
+    for finding in findings:
+        print(finding)
+    print(f"lint_repo: {len(files)} files, {len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+# ------------------------------------------------------------- self-test --
+
+SELF_TEST_CASES = [
+    # (rule, synthetic tree that MUST produce >= 1 finding)
+    (rule_entry_point_checks,
+     {"src/core/thing.cc": "void Api(int x) { use(x); }\n"}),
+    (rule_entry_point_checks,  # a comment mentioning TSF_CHECK is not a check
+     {"src/sim/thing.cc": "// TSF_CHECK lives elsewhere\nvoid Api() {}\n"}),
+    (rule_no_stdout,
+     {"src/core/thing.cc": 'void P() { std::cout << "x"; }\n'}),
+    (rule_no_stdout,
+     {"src/core/thing.cc": 'void P() { printf("x"); }\n'}),
+    (rule_no_stdout,
+     {"src/core/thing.cc": 'void P() { std::printf("x"); }\n'}),
+    (rule_no_stdout,
+     {"src/core/thing.cc": 'void P() { fprintf(stdout, "x"); }\n'}),
+    (rule_telemetry_macros,
+     {"src/core/thing.cc":
+      "void F() { telemetry::Registry::Get(); }\n"}),
+    (rule_telemetry_macros,  # guard must actually be TSF_TELEMETRY
+     {"src/core/thing.cc":
+      "#ifdef OTHER_FLAG\nvoid F() { telemetry::Tracer::Get(); }\n#endif\n"}),
+    (rule_include_cycles,
+     {"src/a/a.h": '#pragma once\n#include "b/b.h"\n',
+      "src/b/b.h": '#pragma once\n#include "a/a.h"\n'}),
+    (rule_pragma_once,
+     {"src/core/thing.h": "struct T {};\n"}),
+]
+
+# Synthetic trees that must stay CLEAN — guards against over-matching.
+SELF_TEST_CLEAN = [
+    (rule_no_stdout,
+     {"src/core/thing.cc":
+      'void P(char* b) { snprintf(b, 4, "x"); fprintf(stderr, "x"); }\n'}),
+    (rule_no_stdout,  # printing from tools/ and bench/ is the whole point
+     {"tools/main.cc": 'int main() { printf("ok\\n"); }\n'}),
+    (rule_telemetry_macros,
+     {"src/core/thing.cc":
+      "#if defined(TSF_TELEMETRY)\n"
+      "void F() { telemetry::Registry::Get(); }\n#endif\n"}),
+    (rule_telemetry_macros,  # data API is always-compiled by design
+     {"src/sim/thing.cc":
+      "std::vector<telemetry::FairnessSample> samples;\n"}),
+    (rule_entry_point_checks,
+     {"src/core/thing.cc": "void Api(int x) { TSF_CHECK(x > 0); }\n"}),
+    (rule_include_cycles,
+     {"src/a/a.h": '#pragma once\n#include "b/b.h"\n',
+      "src/b/b.h": '#pragma once\n'}),
+]
+
+
+def run_self_test():
+    failures = 0
+    for rule, tree in SELF_TEST_CASES:
+        if not rule(tree):
+            print(f"self-test FAILED: {rule.__name__} missed a planted "
+                  f"violation in {sorted(tree)}")
+            failures += 1
+    for rule, tree in SELF_TEST_CLEAN:
+        findings = rule(tree)
+        if findings:
+            print(f"self-test FAILED: {rule.__name__} false-positive on "
+                  f"clean input: {findings}")
+            failures += 1
+    total = len(SELF_TEST_CASES) + len(SELF_TEST_CLEAN)
+    print(f"lint_repo self-test: {total - failures}/{total} cases ok")
+    return 1 if failures else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of this script)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify each rule still detects violations")
+    args = parser.parse_args()
+    if args.self_test:
+        return run_self_test()
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    return run_lint(root)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,120 @@
+#!/usr/bin/env sh
+# clang-tidy gate with a tracked baseline.
+#
+# New findings FAIL; findings recorded in tools/clang_tidy_baseline.txt are
+# legacy debt to burn down (the gate also fails if you add to a file's count
+# for an already-baselined check). Fixing findings and re-running with
+# --update shrinks the baseline; the diff shows the burn-down.
+#
+# Usage:
+#   tools/run_clang_tidy.sh [build-dir]      gate against the baseline
+#   tools/run_clang_tidy.sh --update [dir]   rewrite the baseline (only do
+#                                            this to REMOVE entries)
+#   tools/run_clang_tidy.sh --require [dir]  fail (not skip) if clang-tidy
+#                                            is not installed — CI mode
+#
+# The build dir must have been configured with compile_commands.json
+# (CMAKE_EXPORT_COMPILE_COMMANDS is ON by default in this repo).
+set -eu
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+update=0
+require=0
+while [ "$#" -gt 0 ]; do
+  case "$1" in
+    --update) update=1; shift ;;
+    --require) require=1; shift ;;
+    *) break ;;
+  esac
+done
+build_dir=${1:-"$repo_root/build"}
+baseline="$repo_root/tools/clang_tidy_baseline.txt"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  if [ "$require" -eq 1 ]; then
+    echo "error: clang-tidy not found and --require was given" >&2
+    exit 1
+  fi
+  echo "clang-tidy not installed; skipping (pass --require to make this fatal)"
+  exit 0
+fi
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "error: $build_dir/compile_commands.json missing — configure first:" >&2
+  echo "  cmake --preset release" >&2
+  exit 1
+fi
+
+# Tidy only first-party translation units; third_party and generated code
+# are out of scope.
+files=$(cd "$repo_root" && find src bench tools -name '*.cc' | sort)
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+for f in $files; do
+  clang-tidy -p "$build_dir" --quiet "$repo_root/$f" 2>/dev/null || true
+done > "$raw"
+
+# Normalize to stable "path [check-name] count" lines: absolute paths are
+# stripped and line/column numbers dropped so the baseline survives
+# unrelated edits that shift lines.
+python3 - "$repo_root" "$raw" "$baseline" "$update" <<'EOF'
+import collections, re, sys
+
+root, raw_path, baseline_path, update = sys.argv[1:5]
+finding_re = re.compile(
+    r"^(?P<path>[^:\s]+):\d+:\d+: (?:warning|error): .* \[(?P<check>[^\]]+)\]")
+
+counts = collections.Counter()
+with open(raw_path, encoding="utf-8", errors="replace") as f:
+    for line in f:
+        m = finding_re.match(line.strip())
+        if not m:
+            continue
+        path = m.group("path")
+        if path.startswith(root):
+            path = path[len(root):].lstrip("/")
+        counts[(path, m.group("check"))] += 1
+
+current = {f"{p} [{c}]": n for (p, c), n in counts.items()}
+
+if update == "1":
+    with open(baseline_path, "w", encoding="utf-8") as f:
+        f.write("# clang-tidy legacy findings — burn down, never add.\n")
+        f.write("# Format: <path> [<check>] <count>\n")
+        for key in sorted(current):
+            f.write(f"{key} {current[key]}\n")
+    print(f"baseline updated: {sum(current.values())} finding(s) "
+          f"across {len(current)} (file, check) pair(s)")
+    sys.exit(0)
+
+baseline = {}
+try:
+    with open(baseline_path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            key, _, n = line.rpartition(" ")
+            baseline[key] = int(n)
+except FileNotFoundError:
+    pass  # no baseline: every finding is new
+
+new = []
+for key, n in sorted(current.items()):
+    allowed = baseline.get(key, 0)
+    if n > allowed:
+        new.append(f"  {key}: {n} finding(s), baseline allows {allowed}")
+fixed = sorted(set(baseline) - set(current))
+
+if fixed:
+    print("burned down since baseline (run --update to lock in):")
+    for key in fixed:
+        print(f"  {key}")
+if new:
+    print("NEW clang-tidy findings (fix them or argue the check out of "
+          ".clang-tidy — do not grow the baseline):")
+    print("\n".join(new))
+    sys.exit(1)
+print(f"clang-tidy gate: {sum(current.values())} finding(s), all baselined")
+EOF
