@@ -5,6 +5,7 @@
 // every harness in this repo runs within.
 #include <benchmark/benchmark.h>
 
+#include "core/offline/filling_engine.h"
 #include "core/offline/policies.h"
 #include "core/online/scheduler.h"
 #include "lp/simplex.h"
@@ -72,7 +73,30 @@ void BM_ProgressiveFillingTsf(benchmark::State& state) {
     benchmark::DoNotOptimize(result.shares.data());
   }
 }
-BENCHMARK(BM_ProgressiveFillingTsf)->RangeMultiplier(2)->Range(2, 16);
+BENCHMARK(BM_ProgressiveFillingTsf)->RangeMultiplier(2)->Range(2, 64);
+
+// --- One warm FREEZE probe branching off a solved round LP: clone the
+// simplex state, floor every other active user, re-solve warm. ---
+void BM_FreezeProbe(benchmark::State& state) {
+  const CompiledProblem problem = Compile(RandomSharing(16, 16, 11));
+  const EdgeLayout layout(problem);
+  FillingEngine engine(
+      MakeFillingSpec(problem, layout, TsfDenominator(problem)), {});
+  double share = 0.0;
+  std::vector<double> x;
+  TSF_CHECK(engine.SolveRound(&share, &x));
+  std::vector<double> totals(problem.num_users, 0.0);
+  for (UserId i = 0; i < problem.num_users; ++i)
+    for (const std::size_t e : layout.user_edges[i]) totals[i] += x[e];
+  std::vector<bool> probe(problem.num_users, false);
+  probe[0] = true;
+  std::vector<double> max_share;
+  for (auto _ : state) {
+    engine.ProbeMaxShares(probe, totals, &max_share);
+    benchmark::DoNotOptimize(max_share.data());
+  }
+}
+BENCHMARK(BM_FreezeProbe);
 
 // --- Online scheduler: steady-state serve loop. ---
 void BM_OnlineServeMachine(benchmark::State& state) {

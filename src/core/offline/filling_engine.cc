@@ -1,0 +1,135 @@
+#include "core/offline/filling_engine.h"
+
+#include <thread>
+
+#include "telemetry/telemetry.h"
+#include "util/check.h"
+
+namespace tsf {
+
+ThreadPool* SharedFillingPool() {
+  // Created on first use and intentionally never destroyed: worker threads
+  // must outlive every caller, and teardown order at exit is unknowable.
+  static ThreadPool* pool = [] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw <= 1) return static_cast<ThreadPool*>(nullptr);
+    return new ThreadPool(hw);
+  }();
+  return pool;
+}
+
+FillingEngine::FillingEngine(FillingSpec spec, const FillingOptions& options)
+    : spec_(std::move(spec)),
+      frozen_(spec_.user_rows.size(), false),
+      options_(options),
+      state_(BuildState(spec_)) {}
+
+lp::SimplexState FillingEngine::BuildState(const FillingSpec& spec) {
+  TSF_CHECK_GT(spec.num_structural, 0u);
+  TSF_CHECK(!spec.user_rows.empty());
+  share_var_ = spec.num_structural;
+
+  lp::StandardForm form(spec.num_structural + 1);
+  form.SetObjectiveCoefficient(share_var_, 1.0);
+  user_row_ids_.resize(spec.user_rows.size());
+  for (std::size_t i = 0; i < spec.user_rows.size(); ++i) {
+    TSF_CHECK(!spec.user_rows[i].empty()) << "user " << i << " has no rows";
+    for (const FillingCouplingRow& row : spec.user_rows[i]) {
+      TSF_CHECK_GT(row.share_coeff, 0.0);
+      std::vector<std::pair<std::size_t, double>> terms = row.terms;
+      terms.emplace_back(share_var_, -row.share_coeff);
+      user_row_ids_[i].push_back(
+          form.AddRow(terms, lp::Relation::kEqual, 0.0));
+    }
+  }
+  for (const FillingCapacityRow& row : spec.capacity) {
+    if (row.terms.empty()) continue;  // no eligible user consumes this slot
+    form.AddRow(row.terms, lp::Relation::kLessEqual, row.capacity);
+  }
+  form.Finalize();
+  return lp::SimplexState(std::move(form));
+}
+
+void FillingEngine::FreezeInState(lp::SimplexState& state, std::size_t user,
+                                  double floor) const {
+  for (std::size_t k = 0; k < user_row_ids_[user].size(); ++k) {
+    const std::size_t row = user_row_ids_[user][k];
+    state.SetCoefficient(row, share_var_, 0.0);
+    state.RelaxEquality(row, spec_.user_rows[user][k].floor_fraction * floor);
+  }
+}
+
+bool FillingEngine::SolveState(lp::SimplexState& state, double* share,
+                               std::vector<double>* x) const {
+  const auto extract = [&](const lp::Solution& solution) {
+    if (!solution.optimal()) return false;
+    *share = solution.objective;
+    if (x != nullptr)
+      x->assign(solution.x.begin(),
+                solution.x.begin() +
+                    static_cast<std::ptrdiff_t>(spec_.num_structural));
+    return true;
+  };
+  if (options_.use_dense_engine) {
+    // Executable-spec mode: the exact same mutated program, solved by the
+    // dense tableau path every time.
+    return extract(state.form().ToDenseProblem().Solve());
+  }
+  return extract(state.Solve());
+}
+
+bool FillingEngine::SolveRound(double* share, std::vector<double>* x) {
+  TSF_CHECK(share != nullptr);
+  TSF_TRACE_SCOPE("filling", "SolveRound");
+  return SolveState(state_, share, x);
+}
+
+void FillingEngine::FreezeUser(std::size_t j, double floor) {
+  TSF_CHECK_LT(j, num_users());
+  TSF_CHECK(!frozen_[j]) << "user " << j << " frozen twice";
+  frozen_[j] = true;
+  FreezeInState(state_, j, floor);
+}
+
+void FillingEngine::ProbeMaxShares(const std::vector<bool>& probe,
+                                   const std::vector<double>& current_totals,
+                                   std::vector<double>* max_share) {
+  const std::size_t n = num_users();
+  TSF_CHECK_EQ(probe.size(), n);
+  TSF_CHECK_EQ(current_totals.size(), n);
+  TSF_CHECK(max_share != nullptr);
+  TSF_TRACE_SCOPE("filling", "ProbeMaxShares");
+  max_share->assign(n, 0.0);
+
+  std::vector<std::size_t> targets;
+  for (std::size_t j = 0; j < n; ++j)
+    if (probe[j]) targets.push_back(j);
+
+  // Each probe is a pure function of the solved round state and its own
+  // user, writing only its own slot: parallel execution is bit-identical to
+  // the serial loop by construction.
+  const auto run_probe = [&](std::size_t index) {
+    const std::size_t j = targets[index];
+    TSF_TRACE_SCOPE("filling", "FreezeProbe");
+    TSF_COUNTER_ADD("filling.probes", 1);
+    lp::SimplexState probe_state = state_;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == j || frozen_[i]) continue;
+      FreezeInState(probe_state, i, current_totals[i]);
+    }
+    double share = 0.0;
+    TSF_CHECK(SolveState(probe_state, &share, nullptr))
+        << "freeze-probe LP infeasible — floors exceed capacity?";
+    (*max_share)[j] = share;
+  };
+
+  ThreadPool* pool = options_.serial_probes ? nullptr : options_.pool;
+  if (pool != nullptr && pool->thread_count() > 1 && targets.size() > 1) {
+    pool->ParallelFor(targets.size(), run_probe);
+  } else {
+    for (std::size_t index = 0; index < targets.size(); ++index)
+      run_probe(index);
+  }
+}
+
+}  // namespace tsf

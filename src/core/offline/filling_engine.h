@@ -1,0 +1,127 @@
+// Shared warm-started LP engine for progressive filling (Algorithm 1).
+//
+// Both the single-class engine (progressive_filling.cc) and multi-class TSF
+// (multiclass.cc) run the same loop: one round LP that raises every active
+// user's share s equally, then one FREEZE probe LP per active user. All of
+// those programs share one constraint matrix and differ only in which users
+// are coupled to s and in the floor right-hand sides — exactly the
+// shape-preserving mutations lp::SimplexState re-solves warm (see
+// lp/revised.h). FillingEngine owns that mapping:
+//
+//   * the StandardForm is built ONCE per filling run: for every user a block
+//     of equality "coupling rows" (task totals = share_coeff * s), plus the
+//     capacity rows;
+//   * freezing user j rewrites its rows in place — the s coefficient drops
+//     to zero and the equality relaxes to >= floor — so the next round LP
+//     re-solves warm from the previous round's optimum;
+//   * a FREEZE probe for user j clones the solved round state and applies
+//     the same rewrite to every *other* active user at its current total,
+//     leaving j as the only user coupled to s. The previous round optimum
+//     stays primal feasible, so the probe skips phase 1 entirely.
+//
+// Probes are pure functions of (solved round state, probed user, totals):
+// each runs on its own clone and writes its own output slot, so fanning them
+// out over ThreadPool::ParallelFor and reducing in user order yields freeze
+// decisions bit-identical to the serial loop.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "lp/revised.h"
+#include "util/thread_pool.h"
+
+namespace tsf {
+
+// Tuning knobs threaded from the public solver entry points down to the
+// engine. The defaults reproduce the serial reference behavior.
+struct FillingOptions {
+  // Pool for fanning FREEZE probes out. nullptr means serial probes. Do NOT
+  // pass a pool whose workers may themselves be running the caller:
+  // ParallelFor waits on the pool and would deadlock (see thread_pool.h);
+  // top-level callers can use SharedFillingPool().
+  ThreadPool* pool = nullptr;
+
+  // Force serial probes even when `pool` is set (used by the determinism
+  // tests to produce the reference ordering).
+  bool serial_probes = false;
+
+  // Solve every LP with the dense tableau solver instead of the warm
+  // revised path — the executable-spec mode differential tests diff against.
+  bool use_dense_engine = false;
+};
+
+// Lazily-created process-wide pool for probe fan-out; nullptr on single-core
+// hosts where a pool would only add synchronization overhead. Only safe from
+// threads that are not themselves SharedFillingPool() workers.
+ThreadPool* SharedFillingPool();
+
+// One coupling row of a user: while the user is active the row reads
+// `terms · x = share_coeff * s`; once frozen at total floor F it becomes
+// `terms · x >= floor_fraction * F`. Single-class users have one row with
+// floor_fraction 1; a multi-class user has one row per class with
+// floor_fraction mix_ic (the class's slice of the total).
+struct FillingCouplingRow {
+  std::vector<std::pair<std::size_t, double>> terms;
+  double share_coeff = 1.0;
+  double floor_fraction = 1.0;
+};
+
+struct FillingCapacityRow {
+  std::vector<std::pair<std::size_t, double>> terms;
+  double capacity = 0.0;
+};
+
+struct FillingSpec {
+  std::size_t num_structural = 0;                        // variables besides s
+  std::vector<std::vector<FillingCouplingRow>> user_rows; // per user
+  std::vector<FillingCapacityRow> capacity;
+};
+
+class FillingEngine {
+ public:
+  // share_coeff must be strictly positive for every coupling row.
+  FillingEngine(FillingSpec spec, const FillingOptions& options);
+
+  std::size_t num_users() const { return user_row_ids_.size(); }
+
+  // Maximizes s under the current active/frozen pattern. Returns false when
+  // the program is infeasible; otherwise stores the share level and, if x is
+  // non-null, the structural primal values (x[v] for v < num_structural).
+  bool SolveRound(double* share, std::vector<double>* x);
+
+  // Permanently freezes user j at total `floor`. Affects every later
+  // SolveRound and ProbeMaxShares call.
+  void FreezeUser(std::size_t j, double floor);
+
+  // For every user j with probe[j] set, computes the max share j alone can
+  // reach while every other active user is floored at current_totals[i]
+  // (frozen users keep their existing floors). Call only after a successful
+  // SolveRound so probes branch off the solved round state. Results land in
+  // (*max_share)[j]; non-probed slots are 0. Deterministic: parallel and
+  // serial execution produce bit-identical values.
+  void ProbeMaxShares(const std::vector<bool>& probe,
+                      const std::vector<double>& current_totals,
+                      std::vector<double>* max_share);
+
+  // LP re-solve counters of the persistent round state (probe clones
+  // accumulate their own and are discarded).
+  const lp::ResolveStats& stats() const { return state_.stats(); }
+
+ private:
+  lp::SimplexState BuildState(const FillingSpec& spec);
+  void FreezeInState(lp::SimplexState& state, std::size_t user,
+                     double floor) const;
+  bool SolveState(lp::SimplexState& state, double* share,
+                  std::vector<double>* x) const;
+
+  FillingSpec spec_;
+  std::vector<std::vector<std::size_t>> user_row_ids_;  // form rows per user
+  std::size_t share_var_ = 0;
+  std::vector<bool> frozen_;
+  FillingOptions options_;
+  lp::SimplexState state_;
+};
+
+}  // namespace tsf

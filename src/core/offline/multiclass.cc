@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <limits>
+#include <utility>
 
+#include "core/offline/filling_engine.h"
 #include "lp/simplex.h"
 #include "util/check.h"
 
@@ -22,7 +24,6 @@ struct TripleLayout {
   std::vector<Triple> triples;
   std::vector<std::vector<std::vector<std::size_t>>> by_user_class;  // ids
   std::vector<std::vector<std::size_t>> by_machine;
-  std::size_t share_var = 0;
 
   explicit TripleLayout(const CompiledMultiClass& problem)
       : by_user_class(problem.num_users),
@@ -38,16 +39,7 @@ struct TripleLayout {
         });
       }
     }
-    share_var = triples.size();
   }
-
-  std::size_t num_variables() const { return triples.size() + 1; }
-};
-
-struct RoundSolution {
-  bool feasible = false;
-  double share = 0.0;
-  MultiClassAllocation allocation;
 };
 
 MultiClassAllocation EmptyAllocation(const CompiledMultiClass& problem) {
@@ -60,72 +52,53 @@ MultiClassAllocation EmptyAllocation(const CompiledMultiClass& problem) {
   return allocation;
 }
 
-// Maximize s subject to
-//   per active user i, class c: sum_m n_icm = mix_ic * H_i w_i * s
-//   per inactive user i:        sum_cm n_icm >= floor_i, with the mix kept
-//                               (class totals >= mix * floor)
-//   machine capacities.
-RoundSolution SolveRound(const CompiledMultiClass& problem,
-                         const TripleLayout& layout,
-                         const std::vector<bool>& active,
-                         const std::vector<double>& floor_tasks) {
-  lp::Problem lp(layout.num_variables());
-  lp.SetObjectiveCoefficient(layout.share_var, 1.0);
-
+// Engine form of the multi-class round LP: per active user i and class c a
+// coupling row  sum_m n_icm = mix_ic * H_i w_i * s ; once i freezes at total
+// floor F, each class row relaxes to >= mix_ic * F (the mix is kept), plus
+// the machine capacity rows.
+FillingSpec MakeSpec(const CompiledMultiClass& problem,
+                     const TripleLayout& layout) {
+  FillingSpec spec;
+  spec.num_structural = layout.triples.size();
+  spec.user_rows.resize(problem.num_users);
   for (UserId i = 0; i < problem.num_users; ++i) {
     const double scale = problem.H[i] * problem.weight[i];
     for (std::size_t c = 0; c < problem.mix[i].size(); ++c) {
-      std::vector<std::pair<std::size_t, double>> terms;
+      FillingCouplingRow row;
+      row.terms.reserve(layout.by_user_class[i][c].size());
       for (const std::size_t id : layout.by_user_class[i][c])
-        terms.emplace_back(id, 1.0);
-      if (active[i]) {
-        terms.emplace_back(layout.share_var, -problem.mix[i][c] * scale);
-        lp.AddConstraintSparse(terms, lp::Relation::kEqual, 0.0);
-      } else if (floor_tasks[i] > 0.0) {
-        lp.AddConstraintSparse(terms, lp::Relation::kGreaterEqual,
-                               problem.mix[i][c] * floor_tasks[i]);
-      }
+        row.terms.emplace_back(id, 1.0);
+      row.share_coeff = problem.mix[i][c] * scale;
+      row.floor_fraction = problem.mix[i][c];
+      spec.user_rows[i].push_back(std::move(row));
     }
   }
-
   for (MachineId m = 0; m < problem.num_machines; ++m) {
     for (std::size_t r = 0; r < problem.num_resources; ++r) {
-      std::vector<std::pair<std::size_t, double>> terms;
+      FillingCapacityRow row;
       for (const std::size_t id : layout.by_machine[m]) {
         const auto& triple = layout.triples[id];
         const double d = problem.demand[triple.user][triple.cls][r];
-        if (d > 0.0) terms.emplace_back(id, d);
+        if (d > 0.0) row.terms.emplace_back(id, d);
       }
-      if (!terms.empty())
-        lp.AddConstraintSparse(terms, lp::Relation::kLessEqual,
-                               problem.machine_capacity[m][r]);
+      if (row.terms.empty()) continue;
+      row.capacity = problem.machine_capacity[m][r];
+      spec.capacity.push_back(std::move(row));
     }
   }
-
-  const lp::Solution solution = lp.Solve();
-  RoundSolution round;
-  if (!solution.optimal()) return round;
-  round.feasible = true;
-  round.share = solution.objective;
-  round.allocation = EmptyAllocation(problem);
-  for (std::size_t id = 0; id < layout.triples.size(); ++id) {
-    const auto& triple = layout.triples[id];
-    round.allocation.tasks[triple.user][triple.cls][triple.machine] =
-        std::max(0.0, solution.x[id]);
-  }
-  return round;
+  return spec;
 }
 
-double MaxUserShare(const CompiledMultiClass& problem,
-                    const TripleLayout& layout, UserId j,
-                    const std::vector<double>& floor_tasks) {
-  std::vector<bool> active(problem.num_users, false);
-  active[j] = true;
-  std::vector<double> floors = floor_tasks;
-  floors[j] = 0.0;
-  const RoundSolution round = SolveRound(problem, layout, active, floors);
-  TSF_CHECK(round.feasible);
-  return round.share;
+MultiClassAllocation AllocationFromPrimal(const CompiledMultiClass& problem,
+                                          const TripleLayout& layout,
+                                          const std::vector<double>& x) {
+  MultiClassAllocation allocation = EmptyAllocation(problem);
+  // The solver guarantees x >= 0 (clamped against roundoff solver-side).
+  for (std::size_t id = 0; id < layout.triples.size(); ++id) {
+    const auto& triple = layout.triples[id];
+    allocation.tasks[triple.user][triple.cls][triple.machine] = x[id];
+  }
+  return allocation;
 }
 
 }  // namespace
@@ -220,8 +193,10 @@ CompiledMultiClass CompileMultiClass(const MultiClassProblem& problem) {
   return compiled;
 }
 
-MultiClassResult SolveMultiClassTsf(const CompiledMultiClass& problem) {
+MultiClassResult SolveMultiClassTsf(const CompiledMultiClass& problem,
+                                    const FillingOptions& options) {
   const TripleLayout layout(problem);
+  FillingEngine engine(MakeSpec(problem, layout), options);
   const std::size_t n = problem.num_users;
 
   std::vector<bool> active(n, true);
@@ -232,25 +207,26 @@ MultiClassResult SolveMultiClassTsf(const CompiledMultiClass& problem) {
 
   std::size_t num_active = n;
   std::size_t rounds = 0;
+  std::vector<double> x;
+  std::vector<double> max_share;
   while (num_active > 0) {
     TSF_CHECK_LE(++rounds, n + 1) << "multi-class filling did not converge";
-    const RoundSolution round =
-        SolveRound(problem, layout, active, frozen_tasks);
-    TSF_CHECK(round.feasible);
-    result.allocation = round.allocation;
+    double round_share = 0.0;
+    TSF_CHECK(engine.SolveRound(&round_share, &x)) << "round LP infeasible";
+    result.allocation = AllocationFromPrimal(problem, layout, x);
 
     std::vector<double> current(n);
     for (UserId i = 0; i < n; ++i)
-      current[i] = active[i] ? round.allocation.UserTasks(i) : frozen_tasks[i];
+      current[i] = active[i] ? result.allocation.UserTasks(i) : frozen_tasks[i];
+    engine.ProbeMaxShares(active, current, &max_share);
 
     std::vector<UserId> newly_inactive;
     double closest_gap = std::numeric_limits<double>::infinity();
     UserId closest = n;
     for (UserId j = 0; j < n; ++j) {
       if (!active[j]) continue;
-      const double max_share = MaxUserShare(problem, layout, j, current);
-      const double gap = max_share - round.share;
-      if (gap <= kShareEps * std::max(1.0, round.share)) {
+      const double gap = max_share[j] - round_share;
+      if (gap <= kShareEps * std::max(1.0, round_share)) {
         newly_inactive.push_back(j);
       } else if (gap < closest_gap) {
         closest_gap = gap;
@@ -263,7 +239,8 @@ MultiClassResult SolveMultiClassTsf(const CompiledMultiClass& problem) {
     }
     for (const UserId j : newly_inactive) {
       active[j] = false;
-      frozen_tasks[j] = round.allocation.UserTasks(j);
+      frozen_tasks[j] = result.allocation.UserTasks(j);
+      engine.FreezeUser(j, frozen_tasks[j]);
       --num_active;
     }
   }

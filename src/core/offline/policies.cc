@@ -58,23 +58,28 @@ std::vector<double> CmmfDenominator(const CompiledProblem& problem,
   return denominator;
 }
 
-FillingResult SolveTsf(const CompiledProblem& problem) {
-  return ProgressiveFilling(problem, TsfDenominator(problem));
+FillingResult SolveTsf(const CompiledProblem& problem,
+                       const FillingOptions& options) {
+  return ProgressiveFilling(problem, TsfDenominator(problem), options);
 }
 
-FillingResult SolveCdrf(const CompiledProblem& problem) {
-  return ProgressiveFilling(problem, CdrfDenominator(problem));
+FillingResult SolveCdrf(const CompiledProblem& problem,
+                        const FillingOptions& options) {
+  return ProgressiveFilling(problem, CdrfDenominator(problem), options);
 }
 
-FillingResult SolveDrfh(const CompiledProblem& problem) {
-  return ProgressiveFilling(problem, DrfhDenominator(problem));
+FillingResult SolveDrfh(const CompiledProblem& problem,
+                        const FillingOptions& options) {
+  return ProgressiveFilling(problem, DrfhDenominator(problem), options);
 }
 
-FillingResult SolveCmmf(const CompiledProblem& problem, std::size_t resource) {
-  return ProgressiveFilling(problem, CmmfDenominator(problem, resource));
+FillingResult SolveCmmf(const CompiledProblem& problem, std::size_t resource,
+                        const FillingOptions& options) {
+  return ProgressiveFilling(problem, CmmfDenominator(problem, resource), options);
 }
 
-FillingResult SolvePerMachineDrf(const CompiledProblem& problem) {
+FillingResult SolvePerMachineDrf(const CompiledProblem& problem,
+                                 const FillingOptions& options) {
   FillingResult result;
   result.allocation = Allocation(problem.num_users, problem.num_machines);
   result.freeze_round.assign(problem.num_users, 1);
@@ -122,7 +127,7 @@ FillingResult SolvePerMachineDrf(const CompiledProblem& problem) {
       denominator[k] = sub.weight[k] / dominant;
     }
 
-    const FillingResult sub_result = ProgressiveFilling(sub, denominator);
+    const FillingResult sub_result = ProgressiveFilling(sub, denominator, options);
     for (std::size_t k = 0; k < users.size(); ++k)
       result.allocation.add_tasks(users[k], m, sub_result.allocation.tasks(k, 0));
   }
@@ -137,18 +142,18 @@ FillingResult SolvePerMachineDrf(const CompiledProblem& problem) {
 }
 
 FillingResult SolveOffline(OfflinePolicy policy, const CompiledProblem& problem,
-                           std::size_t resource) {
+                           std::size_t resource, const FillingOptions& options) {
   switch (policy) {
     case OfflinePolicy::kTsf:
-      return SolveTsf(problem);
+      return SolveTsf(problem, options);
     case OfflinePolicy::kCdrf:
-      return SolveCdrf(problem);
+      return SolveCdrf(problem, options);
     case OfflinePolicy::kDrfh:
-      return SolveDrfh(problem);
+      return SolveDrfh(problem, options);
     case OfflinePolicy::kPerMachineDrf:
-      return SolvePerMachineDrf(problem);
+      return SolvePerMachineDrf(problem, options);
     case OfflinePolicy::kCmmf:
-      return SolveCmmf(problem, resource);
+      return SolveCmmf(problem, resource, options);
   }
   TSF_CHECK(false) << "unreachable";
 }

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <limits>
 
-#include "lp/simplex.h"
 #include "util/check.h"
 #include "util/log.h"
 
@@ -13,112 +12,99 @@ namespace {
 // Two shares within this distance are "equal" for saturation decisions.
 constexpr double kShareEps = 1e-7;
 
-// Variable layout for the round LP: one variable per constraint-graph edge
-// (user, eligible machine), plus the share level s as the last variable.
-struct EdgeLayout {
-  std::vector<std::pair<UserId, MachineId>> edges;
-  std::vector<std::vector<std::size_t>> user_edges;    // per user
-  std::vector<std::vector<std::size_t>> machine_edges; // per machine
-  std::size_t share_var = 0;                           // index of s
+}  // namespace
 
-  explicit EdgeLayout(const CompiledProblem& problem)
-      : user_edges(problem.num_users), machine_edges(problem.num_machines) {
-    for (UserId i = 0; i < problem.num_users; ++i) {
-      problem.eligible[i].ForEachSet([&](std::size_t m) {
-        const std::size_t e = edges.size();
-        edges.emplace_back(i, m);
-        user_edges[i].push_back(e);
-        machine_edges[m].push_back(e);
-      });
-    }
-    share_var = edges.size();
-  }
-
-  std::size_t num_variables() const { return edges.size() + 1; }
-};
-
-struct RoundSolution {
-  bool feasible = false;
-  double share = 0.0;
-  Allocation allocation;
-};
-
-// Solves: maximize s subject to
-//   (2) sum_m n_im = denominator_i * s          for i with active[i]
-//   (3) sum_m n_im >= floor_tasks[i]            for i without active[i]
-//   (4) per-machine capacity.
-RoundSolution SolveRound(const CompiledProblem& problem, const EdgeLayout& layout,
-                         const std::vector<double>& denominator,
-                         const std::vector<bool>& active,
-                         const std::vector<double>& floor_tasks) {
-  lp::Problem lp(layout.num_variables());
-  lp.SetObjectiveCoefficient(layout.share_var, 1.0);
-
+FillingSpec MakeFillingSpec(const CompiledProblem& problem,
+                            const EdgeLayout& layout,
+                            const std::vector<double>& denominator) {
+  FillingSpec spec;
+  spec.num_structural = layout.edges.size();
+  spec.user_rows.resize(problem.num_users);
   for (UserId i = 0; i < problem.num_users; ++i) {
-    std::vector<std::pair<std::size_t, double>> terms;
-    terms.reserve(layout.user_edges[i].size() + 1);
-    for (const std::size_t e : layout.user_edges[i]) terms.emplace_back(e, 1.0);
-    if (active[i]) {
-      terms.emplace_back(layout.share_var, -denominator[i]);
-      lp.AddConstraintSparse(terms, lp::Relation::kEqual, 0.0);
-    } else if (floor_tasks[i] > 0.0) {
-      lp.AddConstraintSparse(terms, lp::Relation::kGreaterEqual, floor_tasks[i]);
-    }
+    FillingCouplingRow row;
+    row.terms.reserve(layout.user_edges[i].size());
+    for (const std::size_t e : layout.user_edges[i]) row.terms.emplace_back(e, 1.0);
+    row.share_coeff = denominator[i];
+    row.floor_fraction = 1.0;
+    spec.user_rows[i].push_back(std::move(row));
   }
-
   for (MachineId m = 0; m < problem.num_machines; ++m) {
     for (std::size_t r = 0; r < problem.num_resources; ++r) {
-      std::vector<std::pair<std::size_t, double>> terms;
+      FillingCapacityRow row;
       for (const std::size_t e : layout.machine_edges[m]) {
         const UserId i = layout.edges[e].first;
         const double d = problem.demand[i][r];
-        if (d > 0.0) terms.emplace_back(e, d);
+        if (d > 0.0) row.terms.emplace_back(e, d);
       }
-      if (!terms.empty())
-        lp.AddConstraintSparse(terms, lp::Relation::kLessEqual,
-                               problem.machine_capacity[m][r]);
+      if (row.terms.empty()) continue;
+      row.capacity = problem.machine_capacity[m][r];
+      spec.capacity.push_back(std::move(row));
     }
   }
+  return spec;
+}
 
-  const lp::Solution solution = lp.Solve();
-  RoundSolution round;
-  if (!solution.optimal()) return round;
+namespace {
 
-  round.feasible = true;
-  round.share = solution.objective;
-  round.allocation = Allocation(problem.num_users, problem.num_machines);
+Allocation AllocationFromPrimal(const CompiledProblem& problem,
+                                const EdgeLayout& layout,
+                                const std::vector<double>& x) {
+  Allocation allocation(problem.num_users, problem.num_machines);
+  // The solver guarantees x >= 0 (clamped against roundoff solver-side).
   for (std::size_t e = 0; e < layout.edges.size(); ++e) {
     const auto [i, m] = layout.edges[e];
-    round.allocation.set_tasks(i, m, std::max(0.0, solution.x[e]));
+    allocation.set_tasks(i, m, x[e]);
   }
-  return round;
+  return allocation;
 }
 
 }  // namespace
 
+EdgeLayout::EdgeLayout(const CompiledProblem& problem)
+    : user_edges(problem.num_users), machine_edges(problem.num_machines) {
+  for (UserId i = 0; i < problem.num_users; ++i) {
+    problem.eligible[i].ForEachSet([&](std::size_t m) {
+      const std::size_t e = edges.size();
+      edges.emplace_back(i, m);
+      user_edges[i].push_back(e);
+      machine_edges[m].push_back(e);
+    });
+  }
+  share_var = edges.size();
+}
+
 double MaxShareWithFloors(const CompiledProblem& problem,
+                          const std::vector<double>& denominator, UserId j,
+                          const std::vector<double>& floor_tasks) {
+  const EdgeLayout layout(problem);
+  return MaxShareWithFloors(problem, layout, denominator, j, floor_tasks);
+}
+
+double MaxShareWithFloors(const CompiledProblem& problem,
+                          const EdgeLayout& layout,
                           const std::vector<double>& denominator, UserId j,
                           const std::vector<double>& floor_tasks) {
   TSF_CHECK_LT(j, problem.num_users);
   TSF_CHECK_EQ(denominator.size(), problem.num_users);
   TSF_CHECK_EQ(floor_tasks.size(), problem.num_users);
 
-  const EdgeLayout layout(problem);
-  std::vector<bool> active(problem.num_users, false);
-  active[j] = true;
-  const RoundSolution round =
-      SolveRound(problem, layout, denominator, active, floor_tasks);
-  TSF_CHECK(round.feasible)
+  FillingEngine engine(MakeFillingSpec(problem, layout, denominator), {});
+  for (UserId i = 0; i < problem.num_users; ++i)
+    if (i != j) engine.FreezeUser(i, floor_tasks[i]);
+  double share = 0.0;
+  TSF_CHECK(engine.SolveRound(&share, nullptr))
       << "freeze-probe LP infeasible — floors exceed capacity?";
-  return round.share;
+  return share;
 }
 
 FillingResult ProgressiveFilling(const CompiledProblem& problem,
-                                 const std::vector<double>& denominator) {
+                                 const std::vector<double>& denominator,
+                                 const FillingOptions& options) {
   TSF_CHECK_EQ(denominator.size(), problem.num_users);
   for (const double d : denominator) TSF_CHECK_GT(d, 0.0);
 
   const EdgeLayout layout(problem);
+  FillingEngine engine(MakeFillingSpec(problem, layout, denominator), options);
   const std::size_t n = problem.num_users;
 
   std::vector<bool> active(n, true);
@@ -129,33 +115,36 @@ FillingResult ProgressiveFilling(const CompiledProblem& problem,
 
   std::size_t num_active = n;
   std::size_t round_number = 0;
+  std::vector<double> x;
+  std::vector<double> max_share;
   while (num_active > 0) {
     ++round_number;
     TSF_CHECK_LE(round_number, n + 1) << "progressive filling failed to converge";
 
-    // LP step: raise all active users' shares equally to the maximum.
-    const RoundSolution round =
-        SolveRound(problem, layout, denominator, active, frozen_tasks);
-    TSF_CHECK(round.feasible) << "round LP infeasible";
-    result.round_levels.push_back(round.share);
-    result.allocation = round.allocation;
+    // LP step: raise all active users' shares equally to the maximum. Warm
+    // from the previous round — freezes only rewrote the frozen users' rows.
+    double round_share = 0.0;
+    TSF_CHECK(engine.SolveRound(&round_share, &x)) << "round LP infeasible";
+    result.round_levels.push_back(round_share);
+    result.allocation = AllocationFromPrimal(problem, layout, x);
 
     // FREEZE step: an active user j saturates if, holding everyone else's
     // current totals as floors, j's share cannot rise above the round level.
+    // Probes branch off the solved round LP and may run in parallel; the
+    // reduction below walks users in index order, so decisions match the
+    // serial reference bit for bit.
     std::vector<double> current_tasks(n);
     for (UserId i = 0; i < n; ++i)
-      current_tasks[i] = active[i] ? round.allocation.UserTasks(i) : frozen_tasks[i];
+      current_tasks[i] = active[i] ? result.allocation.UserTasks(i) : frozen_tasks[i];
+    engine.ProbeMaxShares(active, current_tasks, &max_share);
 
     std::vector<UserId> newly_inactive;
     double closest_gap = std::numeric_limits<double>::infinity();
     UserId closest_user = n;
     for (UserId j = 0; j < n; ++j) {
       if (!active[j]) continue;
-      std::vector<double> floors = current_tasks;
-      floors[j] = 0.0;  // j is the probed user, not a floor
-      const double max_share = MaxShareWithFloors(problem, denominator, j, floors);
-      const double gap = max_share - round.share;
-      if (gap <= kShareEps * std::max(1.0, round.share)) {
+      const double gap = max_share[j] - round_share;
+      if (gap <= kShareEps * std::max(1.0, round_share)) {
         newly_inactive.push_back(j);
       } else if (gap < closest_gap) {
         closest_gap = gap;
@@ -175,7 +164,8 @@ FillingResult ProgressiveFilling(const CompiledProblem& problem,
 
     for (const UserId j : newly_inactive) {
       active[j] = false;
-      frozen_tasks[j] = round.allocation.UserTasks(j);
+      frozen_tasks[j] = result.allocation.UserTasks(j);
+      engine.FreezeUser(j, frozen_tasks[j]);
       result.freeze_round[j] = round_number;
       result.shares[j] = frozen_tasks[j] / denominator[j];
       --num_active;

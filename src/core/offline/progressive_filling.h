@@ -15,13 +15,21 @@
 // maximum, then one LP per active user to decide who has saturated (the
 // FREEZE step); saturated users' task totals are protected by >= constraints
 // in later rounds. This mirrors Algorithm 1 exactly.
+//
+// All round and probe LPs of one run share a single warm-started revised
+// simplex state (see core/offline/filling_engine.h): the constraint matrix
+// is built once, freezes are in-place row rewrites, and every FREEZE probe
+// branches off the solved round LP — independent probes can fan out over a
+// thread pool with freeze decisions bit-identical to the serial loop.
 #pragma once
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "core/allocation.h"
 #include "core/cluster.h"
+#include "core/offline/filling_engine.h"
 
 namespace tsf {
 
@@ -38,16 +46,48 @@ struct FillingResult {
   std::vector<double> round_levels;
 };
 
+// Variable layout shared by every LP of a filling run: one variable per
+// constraint-graph edge (user, eligible machine), plus the share level s as
+// the last variable. Built once per problem; reusable across filling runs
+// and property probes over the same CompiledProblem.
+struct EdgeLayout {
+  std::vector<std::pair<UserId, MachineId>> edges;
+  std::vector<std::vector<std::size_t>> user_edges;     // per user
+  std::vector<std::vector<std::size_t>> machine_edges;  // per machine
+  std::size_t share_var = 0;                            // index of s
+
+  explicit EdgeLayout(const CompiledProblem& problem);
+
+  std::size_t num_variables() const { return edges.size() + 1; }
+};
+
+// Compiles the round-LP structure for a problem/denominator pair into the
+// engine's policy-agnostic form: one coupling row per user (total tasks =
+// denominator_i * s) plus the per-(machine, resource) capacity rows.
+// Exposed for benchmarks and tests that drive FillingEngine directly.
+FillingSpec MakeFillingSpec(const CompiledProblem& problem,
+                            const EdgeLayout& layout,
+                            const std::vector<double>& denominator);
+
 // Runs Algorithm 1. `denominator[i]` must be strictly positive. The returned
 // allocation is feasible (capacity + eligibility) and max-min fair w.r.t.
-// n_i / denominator_i.
+// n_i / denominator_i. `options` tunes the LP engine (probe parallelism,
+// dense executable-spec mode); the result is identical for every setting.
 FillingResult ProgressiveFilling(const CompiledProblem& problem,
-                                 const std::vector<double>& denominator);
+                                 const std::vector<double>& denominator,
+                                 const FillingOptions& options = {});
 
 // Maximizes user j's share n_j / denominator_j while every other user i is
 // guaranteed at least `floor_tasks[i]` tasks (placements may reshuffle).
 // Exposed for property checkers (Pareto-optimality and envy probes).
 double MaxShareWithFloors(const CompiledProblem& problem,
+                          const std::vector<double>& denominator, UserId j,
+                          const std::vector<double>& floor_tasks);
+
+// Layout-reusing overload: callers probing many users against the same
+// problem build the EdgeLayout once instead of per call.
+double MaxShareWithFloors(const CompiledProblem& problem,
+                          const EdgeLayout& layout,
                           const std::vector<double>& denominator, UserId j,
                           const std::vector<double>& floor_tasks);
 

@@ -54,10 +54,13 @@ std::optional<ParetoViolation> FindParetoImprovement(
   for (UserId i = 0; i < problem.num_users; ++i)
     totals[i] = allocation.UserTasks(i);
 
+  // One probe per user against the same problem: build the layout once.
+  const EdgeLayout layout(problem);
   for (UserId j = 0; j < problem.num_users; ++j) {
     std::vector<double> floors = totals;
     floors[j] = 0.0;
-    const double achievable = MaxShareWithFloors(problem, unit, j, floors);
+    const double achievable =
+        MaxShareWithFloors(problem, layout, unit, j, floors);
     // Relative tolerance: LP round-off scales with task counts.
     const double slack = tolerance * std::max(1.0, totals[j]);
     if (achievable > totals[j] + slack)

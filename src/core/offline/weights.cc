@@ -27,7 +27,8 @@ CompiledProblem WithWeights(const CompiledProblem& problem,
 }
 
 FillingResult SolvePerComponent(const CompiledProblem& problem,
-                                OfflinePolicy policy) {
+                                OfflinePolicy policy,
+                                const FillingOptions& options) {
   const ConstraintComponents components = FindComponents(problem);
 
   FillingResult result;
@@ -71,7 +72,7 @@ FillingResult SolvePerComponent(const CompiledProblem& problem,
       sub.g.push_back(problem.g[i]);
     }
 
-    const FillingResult sub_result = SolveOffline(policy, sub);
+    const FillingResult sub_result = SolveOffline(policy, sub, 0, options);
     for (std::size_t iu = 0; iu < users.size(); ++iu) {
       for (std::size_t im = 0; im < machines.size(); ++im)
         result.allocation.set_tasks(users[iu], machines[im],

@@ -33,6 +33,7 @@ CompiledProblem WithWeights(const CompiledProblem& problem,
 // against the entire datacenter even when its component is smaller), and
 // stitches the result.
 FillingResult SolvePerComponent(const CompiledProblem& problem,
-                                OfflinePolicy policy);
+                                OfflinePolicy policy,
+                                const FillingOptions& options = {});
 
 }  // namespace tsf

@@ -1,0 +1,494 @@
+#include "lp/revised.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "telemetry/telemetry.h"
+#include "util/check.h"
+
+namespace tsf::lp {
+namespace {
+
+// Pivot / reduced-cost tolerance (matches the dense solver).
+constexpr double kEps = 1e-9;
+
+// Feasibility tolerance for warm-start certification and for the phase-1
+// artificial residual (matches the dense solver's infeasibility cut-off).
+constexpr double kFeasEps = 1e-7;
+
+// A Sherman-Morrison denominator below this means the rank-one update would
+// make the basis (numerically) singular; refactor instead.
+constexpr double kSingularEps = 1e-9;
+
+constexpr std::size_t kNoRow = std::numeric_limits<std::size_t>::max();
+
+}  // namespace
+
+SimplexState::SimplexState(StandardForm form) : form_(std::move(form)) {
+  TSF_CHECK(form_.finalized()) << "SimplexState needs a finalized form";
+}
+
+void SimplexState::SetRhs(std::size_t row, double rhs) {
+  form_.SetRhs(row, rhs);
+  dirty_ = true;
+  solution_valid_ = false;
+}
+
+void SimplexState::RelaxEquality(std::size_t row, double rhs) {
+  form_.RelaxEquality(row, rhs);
+  dirty_ = true;
+  solution_valid_ = false;
+}
+
+void SimplexState::SetCoefficient(std::size_t row, std::size_t variable,
+                                  double value) {
+  const double previous = form_.SetCoefficient(row, variable, value);
+  if (previous == value) return;
+  if (state_valid_) {
+    PendingColumn* pending = nullptr;
+    for (PendingColumn& p : pending_)
+      if (p.variable == variable) pending = &p;
+    if (pending == nullptr) {
+      pending_.push_back(PendingColumn{variable, {}});
+      pending = &pending_.back();
+    }
+    bool recorded = false;
+    for (const auto& [r, unused] : pending->old_values)
+      if (r == row) recorded = true;
+    if (!recorded) pending->old_values.emplace_back(row, previous);
+  }
+  dirty_ = true;
+  solution_valid_ = false;
+}
+
+std::size_t SimplexState::SlackCol(std::size_t row) const {
+  return form_.num_variables() + row;
+}
+
+std::size_t SimplexState::ArtificialCol(std::size_t row) const {
+  return form_.num_variables() + form_.num_rows() + row;
+}
+
+bool SimplexState::IsArtificial(std::size_t col) const {
+  return col >= form_.num_variables() + form_.num_rows();
+}
+
+bool SimplexState::ColumnAllowed(std::size_t col, bool /*phase1*/) const {
+  const std::size_t n = form_.num_variables();
+  if (col < n) return true;
+  if (IsArtificial(col)) return false;  // artificials only ever leave
+  return form_.relation(col - n) != Relation::kEqual;
+}
+
+bool SimplexState::IsBannedBasic(std::size_t col) const {
+  const std::size_t n = form_.num_variables();
+  if (col < n) return false;
+  if (IsArtificial(col)) return true;
+  return form_.relation(col - n) == Relation::kEqual;
+}
+
+double SimplexState::ColumnCost(std::size_t col, bool phase1) const {
+  if (phase1) return IsArtificial(col) ? -1.0 : 0.0;
+  return col < form_.num_variables() ? form_.objective()[col] : 0.0;
+}
+
+void SimplexState::Ftran(std::size_t col, std::vector<double>& d) const {
+  const std::size_t m = form_.num_rows();
+  const std::size_t n = form_.num_variables();
+  d.assign(m, 0.0);
+  if (col < n) {
+    for (const StandardForm::Entry& entry : form_.column(col)) {
+      const double v = entry.value;
+      if (v == 0.0) continue;
+      const std::size_t k = entry.row;
+      for (std::size_t r = 0; r < m; ++r) d[r] += binv_[r * m + k] * v;
+    }
+  } else {
+    const std::size_t row = IsArtificial(col) ? col - n - m : col - n;
+    const double sign = IsArtificial(col)
+                            ? static_cast<double>(art_sign_[row])
+                            : (form_.relation(row) == Relation::kLessEqual ? 1.0
+                                                                          : -1.0);
+    for (std::size_t r = 0; r < m; ++r) d[r] = sign * binv_[r * m + row];
+  }
+}
+
+void SimplexState::Pivot(std::size_t leaving_row, std::size_t entering,
+                         const std::vector<double>& d) {
+  const std::size_t m = form_.num_rows();
+  double* rowp = &binv_[leaving_row * m];
+  const double inv = 1.0 / d[leaving_row];
+  for (std::size_t k = 0; k < m; ++k) rowp[k] *= inv;
+  xb_[leaving_row] *= inv;
+  for (std::size_t r = 0; r < m; ++r) {
+    if (r == leaving_row) continue;
+    const double factor = d[r];
+    if (factor == 0.0) continue;
+    double* row = &binv_[r * m];
+    for (std::size_t k = 0; k < m; ++k) row[k] -= factor * rowp[k];
+    xb_[r] -= factor * xb_[leaving_row];
+  }
+  const std::size_t leaving_col = basis_[leaving_row];
+  if (leaving_col < is_basic_.size()) is_basic_[leaving_col] = false;
+  if (entering < is_basic_.size()) is_basic_[entering] = true;
+  basis_[leaving_row] = entering;
+}
+
+SimplexState::IterateResult SimplexState::Iterate(bool phase1) {
+  const std::size_t m = form_.num_rows();
+  const std::size_t n = form_.num_variables();
+  const std::size_t width = n + m;  // structural + slack column ids
+  // Same anti-cycling scheme as the dense solver: Dantzig until the
+  // threshold, then Bland's rule, plus a generous hard cap that routes
+  // pathological numerics to the dense fallback instead of spinning.
+  const std::size_t bland_threshold = 50 * (m + width);
+  const std::size_t max_iterations = 200 * (m + width) + 1000;
+
+  std::vector<double> y(m);
+  std::vector<double> d(m);
+  for (std::size_t iterations = 0;; ++iterations) {
+    if (iterations > max_iterations) return IterateResult::kStalled;
+    const bool use_bland = iterations > bland_threshold;
+
+    // y = c_B^T B^-1 (only rows with a costed basic column contribute).
+    std::fill(y.begin(), y.end(), 0.0);
+    for (std::size_t r = 0; r < m; ++r) {
+      const double cost = ColumnCost(basis_[r], phase1);
+      if (cost == 0.0) continue;
+      const double* row = &binv_[r * m];
+      for (std::size_t k = 0; k < m; ++k) y[k] += cost * row[k];
+    }
+
+    // Entering column: best positive reduced cost (first eligible under
+    // Bland). Basic columns price to zero; skip them outright.
+    std::size_t entering = width;
+    double best = kEps;
+    for (std::size_t col = 0; col < width; ++col) {
+      if (is_basic_[col] || !ColumnAllowed(col, phase1)) continue;
+      double dot = 0.0;
+      if (col < n) {
+        for (const StandardForm::Entry& entry : form_.column(col))
+          dot += y[entry.row] * entry.value;
+      } else {
+        const std::size_t row = col - n;
+        dot = (form_.relation(row) == Relation::kLessEqual ? 1.0 : -1.0) *
+              y[row];
+      }
+      const double reduced = ColumnCost(col, phase1) - dot;
+      if (reduced > best) {
+        entering = col;
+        if (use_bland) break;
+        best = reduced;
+      }
+    }
+    if (entering == width) return IterateResult::kOptimal;
+
+    Ftran(entering, d);
+
+    // Leaving row. A banned basic column (artificial, or the surplus of an
+    // equality row) sitting at level zero leaves first whenever the entering
+    // direction touches its row at all: pivoting it out is free (the basic
+    // value is zero) and stops later pivots from drifting it positive.
+    std::size_t leaving = m;
+    for (std::size_t r = 0; r < m; ++r) {
+      if (IsBannedBasic(basis_[r]) && std::abs(d[r]) > kEps &&
+          xb_[r] <= kFeasEps) {
+        leaving = r;
+        break;
+      }
+    }
+    if (leaving == m) {
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (std::size_t r = 0; r < m; ++r) {
+        const double coeff = d[r];
+        if (coeff <= kEps) continue;
+        const double ratio = std::max(xb_[r], 0.0) / coeff;
+        if (ratio < best_ratio - kEps ||
+            (use_bland && ratio < best_ratio + kEps && leaving < m &&
+             basis_[r] < basis_[leaving])) {
+          best_ratio = ratio;
+          leaving = r;
+        }
+      }
+    }
+    if (leaving == m) return IterateResult::kUnbounded;
+
+    Pivot(leaving, entering, d);
+    ++stats_.iterations;
+    TSF_COUNTER_ADD("lp.iterations", 1);
+  }
+}
+
+void SimplexState::ComputeBasicValues() {
+  const std::size_t m = form_.num_rows();
+  const std::vector<double>& b = form_.rhs();
+  xb_.assign(m, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    const double* row = &binv_[r * m];
+    double value = 0.0;
+    for (std::size_t k = 0; k < m; ++k) value += row[k] * b[k];
+    xb_[r] = value;
+  }
+}
+
+bool SimplexState::Refactor() {
+  const std::size_t m = form_.num_rows();
+  const std::size_t n = form_.num_variables();
+  // Assemble B column-by-column from the basis, then Gauss-Jordan invert
+  // with partial pivoting.
+  std::vector<double> work(m * m, 0.0);
+  for (std::size_t c = 0; c < m; ++c) {
+    const std::size_t col = basis_[c];
+    if (col < n) {
+      for (const StandardForm::Entry& entry : form_.column(col))
+        work[entry.row * m + c] = entry.value;
+    } else if (IsArtificial(col)) {
+      const std::size_t row = col - n - m;
+      work[row * m + c] = static_cast<double>(art_sign_[row]);
+    } else {
+      const std::size_t row = col - n;
+      work[row * m + c] =
+          form_.relation(row) == Relation::kLessEqual ? 1.0 : -1.0;
+    }
+  }
+  binv_.assign(m * m, 0.0);
+  for (std::size_t r = 0; r < m; ++r) binv_[r * m + r] = 1.0;
+  for (std::size_t j = 0; j < m; ++j) {
+    std::size_t pivot = j;
+    for (std::size_t r = j + 1; r < m; ++r)
+      if (std::abs(work[r * m + j]) > std::abs(work[pivot * m + j])) pivot = r;
+    if (std::abs(work[pivot * m + j]) < 1e-11) return false;
+    if (pivot != j) {
+      for (std::size_t k = 0; k < m; ++k) {
+        std::swap(work[pivot * m + k], work[j * m + k]);
+        std::swap(binv_[pivot * m + k], binv_[j * m + k]);
+      }
+      std::swap(basis_[pivot], basis_[j]);
+      std::swap(art_sign_[pivot], art_sign_[j]);
+    }
+    const double inv = 1.0 / work[j * m + j];
+    for (std::size_t k = 0; k < m; ++k) {
+      work[j * m + k] *= inv;
+      binv_[j * m + k] *= inv;
+    }
+    for (std::size_t r = 0; r < m; ++r) {
+      if (r == j) continue;
+      const double factor = work[r * m + j];
+      if (factor == 0.0) continue;
+      for (std::size_t k = 0; k < m; ++k) {
+        work[r * m + k] -= factor * work[j * m + k];
+        binv_[r * m + k] -= factor * binv_[j * m + k];
+      }
+    }
+  }
+  return true;
+}
+
+bool SimplexState::ApplyPendingColumnUpdates() {
+  if (pending_.empty()) return true;
+  const std::size_t m = form_.num_rows();
+  // Basis position of each structural variable (kNoRow when nonbasic).
+  std::vector<std::size_t> position(form_.num_variables(), kNoRow);
+  for (std::size_t r = 0; r < m; ++r)
+    if (basis_[r] < form_.num_variables()) position[basis_[r]] = r;
+
+  std::vector<double> u(m);
+  std::vector<double> rowp(m);
+  bool need_refactor = false;
+  for (const PendingColumn& pending : pending_) {
+    const std::size_t pos = position[pending.variable];
+    if (pos == kNoRow) continue;  // nonbasic: B is untouched
+    // u = B^-1 * (new column - old column), sparse over the touched rows.
+    std::fill(u.begin(), u.end(), 0.0);
+    bool any = false;
+    for (const auto& [row, old_value] : pending.old_values) {
+      double current = 0.0;
+      for (const StandardForm::Entry& entry : form_.column(pending.variable))
+        if (entry.row == row) current = entry.value;
+      const double delta = current - old_value;
+      if (delta == 0.0) continue;
+      any = true;
+      for (std::size_t r = 0; r < m; ++r) u[r] += binv_[r * m + row] * delta;
+    }
+    if (!any) continue;
+    const double beta = 1.0 + u[pos];
+    if (std::abs(beta) < kSingularEps) {
+      need_refactor = true;
+      break;
+    }
+    // Sherman-Morrison: (B + delta e_pos^T)^-1 = B^-1 - (u rowp) / beta.
+    std::copy(binv_.begin() + static_cast<std::ptrdiff_t>(pos * m),
+              binv_.begin() + static_cast<std::ptrdiff_t>((pos + 1) * m),
+              rowp.begin());
+    for (std::size_t r = 0; r < m; ++r) {
+      const double factor = u[r] / beta;
+      if (factor == 0.0) continue;
+      double* row = &binv_[r * m];
+      for (std::size_t k = 0; k < m; ++k) row[k] -= factor * rowp[k];
+    }
+  }
+  pending_.clear();
+  if (need_refactor) return Refactor();
+  return true;
+}
+
+bool SimplexState::WarmSolve() {
+  if (!ApplyPendingColumnUpdates()) return false;
+  ComputeBasicValues();
+  for (std::size_t r = 0; r < form_.num_rows(); ++r) {
+    if (xb_[r] < -kFeasEps) return false;  // phase 1 would be needed
+    // A banned column stuck basic at a real level means the equality (or
+    // artificial) it stands for is now violated; only a cold solve can fix
+    // the basis structure.
+    if (IsBannedBasic(basis_[r]) && xb_[r] > kFeasEps) return false;
+  }
+  ++stats_.warm_solves;
+  TSF_COUNTER_ADD("lp.warm_hits", 1);
+  TSF_COUNTER_ADD("lp.phase1_skipped", 1);
+  const IterateResult result = Iterate(/*phase1=*/false);
+  if (result == IterateResult::kStalled) {
+    DenseFallback();
+    return true;
+  }
+  if (result == IterateResult::kUnbounded) {
+    solution_ = Solution{SolveStatus::kUnbounded, 0.0, {}};
+    state_valid_ = false;
+    return true;
+  }
+  ExtractSolution();
+  return true;
+}
+
+void SimplexState::ColdSolve() {
+  ++stats_.cold_solves;
+  TSF_COUNTER_ADD("lp.cold_solves", 1);
+  const std::size_t m = form_.num_rows();
+  const std::size_t n = form_.num_variables();
+  basis_.assign(m, 0);
+  binv_.assign(m * m, 0.0);
+  xb_.assign(m, 0.0);
+  art_sign_.assign(m, 1);
+  is_basic_.assign(n + m, false);
+
+  // Starting basis: a row's own slack / surplus when it can sit at a
+  // nonnegative level, an artificial (+/- e_row) otherwise.
+  bool need_phase1 = false;
+  for (std::size_t r = 0; r < m; ++r) {
+    const double b = form_.rhs(r);
+    const Relation relation = form_.relation(r);
+    if (relation == Relation::kLessEqual && b >= 0.0) {
+      basis_[r] = SlackCol(r);
+      is_basic_[basis_[r]] = true;
+      binv_[r * m + r] = 1.0;
+      xb_[r] = b;
+    } else if (relation == Relation::kGreaterEqual && b <= 0.0) {
+      basis_[r] = SlackCol(r);
+      is_basic_[basis_[r]] = true;
+      binv_[r * m + r] = -1.0;
+      xb_[r] = -b;
+    } else {
+      basis_[r] = ArtificialCol(r);
+      art_sign_[r] = b < 0.0 ? -1 : 1;
+      binv_[r * m + r] = static_cast<double>(art_sign_[r]);
+      xb_[r] = std::abs(b);
+      need_phase1 = true;
+    }
+  }
+
+  if (need_phase1) {
+    const IterateResult phase1 = Iterate(/*phase1=*/true);
+    TSF_CHECK(phase1 != IterateResult::kUnbounded)
+        << "phase 1 cannot be unbounded";
+    if (phase1 == IterateResult::kStalled) {
+      DenseFallback();
+      return;
+    }
+    double residual = 0.0;
+    for (std::size_t r = 0; r < m; ++r)
+      if (IsArtificial(basis_[r])) residual += std::max(xb_[r], 0.0);
+    if (residual > kFeasEps) {
+      solution_ = Solution{SolveStatus::kInfeasible, 0.0, {}};
+      state_valid_ = false;
+      return;
+    }
+    // Drive degenerate basic artificials out so phase 2 (and any warm
+    // re-solve) starts from a clean basis; a row whose B^-1-row annihilates
+    // every real column is redundant and keeps its zero-level artificial.
+    std::vector<double> d(m);
+    for (std::size_t r = 0; r < m; ++r) {
+      if (!IsArtificial(basis_[r])) continue;
+      for (std::size_t col = 0; col < n + m; ++col) {
+        if (is_basic_[col] || !ColumnAllowed(col, /*phase1=*/false)) continue;
+        double alpha = 0.0;
+        if (col < n) {
+          for (const StandardForm::Entry& entry : form_.column(col))
+            alpha += binv_[r * m + entry.row] * entry.value;
+        } else {
+          const std::size_t row = col - n;
+          alpha = (form_.relation(row) == Relation::kLessEqual ? 1.0 : -1.0) *
+                  binv_[r * m + row];
+        }
+        if (std::abs(alpha) > kFeasEps) {
+          Ftran(col, d);
+          Pivot(r, col, d);
+          break;
+        }
+      }
+    }
+  }
+
+  const IterateResult phase2 = Iterate(/*phase1=*/false);
+  if (phase2 == IterateResult::kStalled) {
+    DenseFallback();
+    return;
+  }
+  if (phase2 == IterateResult::kUnbounded) {
+    solution_ = Solution{SolveStatus::kUnbounded, 0.0, {}};
+    state_valid_ = false;
+    return;
+  }
+  ExtractSolution();
+  state_valid_ = true;
+}
+
+void SimplexState::DenseFallback() {
+  ++stats_.dense_fallbacks;
+  TSF_COUNTER_ADD("lp.dense_fallbacks", 1);
+  solution_ = form_.ToDenseProblem().Solve();
+  state_valid_ = false;
+}
+
+void SimplexState::ExtractSolution() {
+  const std::size_t n = form_.num_variables();
+  solution_.status = SolveStatus::kOptimal;
+  solution_.x.assign(n, 0.0);
+  for (std::size_t r = 0; r < form_.num_rows(); ++r) {
+    if (basis_[r] >= n) continue;
+    TSF_DCHECK_GE(xb_[r], -kFeasEps)
+        << "basic variable " << basis_[r] << " below the clamp tolerance";
+    solution_.x[basis_[r]] = std::max(0.0, xb_[r]);
+  }
+  double objective = 0.0;
+  const std::vector<double>& c = form_.objective();
+  for (std::size_t r = 0; r < form_.num_rows(); ++r)
+    if (basis_[r] < n) objective += c[basis_[r]] * solution_.x[basis_[r]];
+  solution_.objective = objective;
+}
+
+const Solution& SimplexState::Solve() {
+  if (solution_valid_ && !dirty_) return solution_;
+  TSF_TRACE_SCOPE("lp", "Solve");
+  ++stats_.solves;
+  bool done = false;
+  if (state_valid_) done = WarmSolve();
+  if (!done) {
+    pending_.clear();
+    ColdSolve();
+  }
+  dirty_ = false;
+  solution_valid_ = true;
+  return solution_;
+}
+
+}  // namespace tsf::lp

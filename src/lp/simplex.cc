@@ -292,7 +292,14 @@ Solution Problem::Solve() const {
   solution.objective = phase2.value;
   solution.x.assign(n, 0.0);
   for (std::size_t r = 0; r < m; ++r) {
-    if (t.basis[r] < n) solution.x[t.basis[r]] = std::max(0.0, t.b[r]);
+    if (t.basis[r] < n) {
+      // Roundoff may leave a basic variable a hair below zero; clamp here,
+      // solver-side, so callers can rely on x >= 0 exactly. Anything beyond
+      // roundoff magnitude is a solver bug.
+      TSF_DCHECK_GE(t.b[r], -1e-7)
+          << " basic variable " << t.basis[r] << " below clamp tolerance";
+      solution.x[t.basis[r]] = std::max(0.0, t.b[r]);
+    }
   }
   return solution;
 }

@@ -1,0 +1,111 @@
+#include "lp/standard_form.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tsf::lp {
+
+StandardForm::StandardForm(std::size_t num_variables)
+    : num_variables_(num_variables), objective_(num_variables, 0.0) {
+  TSF_CHECK_GT(num_variables, 0u);
+}
+
+std::size_t StandardForm::AddRow(
+    const std::vector<std::pair<std::size_t, double>>& terms, Relation relation,
+    double rhs) {
+  TSF_CHECK(!finalized_) << "AddRow after Finalize would change the shape";
+  TSF_CHECK(std::isfinite(rhs));
+  for (const auto& [variable, coefficient] : terms) {
+    TSF_CHECK_LT(variable, num_variables_);
+    TSF_CHECK(std::isfinite(coefficient));
+  }
+  const std::size_t row = relation_.size();
+  build_rows_.push_back(terms);
+  relation_.push_back(relation);
+  rhs_.push_back(rhs);
+  return row;
+}
+
+void StandardForm::SetObjectiveCoefficient(std::size_t variable,
+                                           double coefficient) {
+  TSF_CHECK_LT(variable, num_variables_);
+  objective_[variable] = coefficient;
+}
+
+void StandardForm::Finalize() {
+  TSF_CHECK(!finalized_);
+  TSF_CHECK_GT(num_rows(), 0u) << "a standard form needs at least one row";
+  finalized_ = true;
+  columns_.assign(num_variables_, {});
+  for (std::size_t row = 0; row < build_rows_.size(); ++row) {
+    // Accumulate duplicates within a row before scattering to columns.
+    std::vector<std::pair<std::size_t, double>>& terms = build_rows_[row];
+    std::sort(terms.begin(), terms.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (std::size_t k = 0; k < terms.size();) {
+      double value = terms[k].second;
+      std::size_t next = k + 1;
+      while (next < terms.size() && terms[next].first == terms[k].first)
+        value += terms[next++].second;
+      columns_[terms[k].first].push_back(
+          Entry{static_cast<std::uint32_t>(row), value});
+      k = next;
+    }
+  }
+  build_rows_.clear();
+  build_rows_.shrink_to_fit();
+}
+
+void StandardForm::SetRhs(std::size_t row, double rhs) {
+  TSF_CHECK(finalized_);
+  TSF_CHECK_LT(row, num_rows());
+  TSF_CHECK(std::isfinite(rhs));
+  rhs_[row] = rhs;
+}
+
+void StandardForm::RelaxEquality(std::size_t row, double rhs) {
+  TSF_CHECK(finalized_);
+  TSF_CHECK_LT(row, num_rows());
+  TSF_CHECK(relation_[row] == Relation::kEqual)
+      << "RelaxEquality on a non-equality row";
+  TSF_CHECK(std::isfinite(rhs));
+  relation_[row] = Relation::kGreaterEqual;
+  rhs_[row] = rhs;
+}
+
+double StandardForm::SetCoefficient(std::size_t row, std::size_t variable,
+                                    double value) {
+  TSF_CHECK(finalized_);
+  TSF_CHECK_LT(row, num_rows());
+  TSF_CHECK_LT(variable, num_variables_);
+  TSF_CHECK(std::isfinite(value));
+  for (Entry& entry : columns_[variable]) {
+    if (entry.row == row) {
+      const double previous = entry.value;
+      entry.value = value;
+      return previous;
+    }
+  }
+  TSF_CHECK(false) << "SetCoefficient: no slot for row " << row
+                   << ", variable " << variable
+                   << " — creating one would change the shape";
+}
+
+Problem StandardForm::ToDenseProblem() const {
+  TSF_CHECK(finalized_);
+  Problem problem(num_variables_);
+  std::vector<double> objective = objective_;
+  problem.SetObjective(std::move(objective));
+  std::vector<std::vector<double>> rows(num_rows(),
+                                        std::vector<double>(num_variables_, 0.0));
+  for (std::size_t variable = 0; variable < num_variables_; ++variable)
+    for (const Entry& entry : columns_[variable])
+      rows[entry.row][variable] = entry.value;
+  for (std::size_t row = 0; row < num_rows(); ++row)
+    problem.AddConstraint(std::move(rows[row]), relation_[row], rhs_[row]);
+  return problem;
+}
+
+}  // namespace tsf::lp

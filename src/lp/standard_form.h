@@ -1,0 +1,105 @@
+// Standard-form program with immutable shape and sparse column storage.
+//
+// The dense solver in simplex.h rebuilds its tableau from scratch on every
+// call, which is wasteful for progressive filling: within a round, the round
+// LP and every per-user FREEZE probe share one constraint matrix and differ
+// only in a handful of right-hand sides, one relation flip per frozen user,
+// and the share column's coefficients. StandardForm captures exactly that
+// structure:
+//
+//   * the *shape* — which rows exist and which (row, variable) slots are
+//     nonzero — is fixed at Finalize() time and never changes;
+//   * the *values* — rhs, an equality row's relation (one-way relaxation to
+//     >=), and the coefficient stored in an existing slot — may be mutated
+//     afterwards in O(changed slots).
+//
+// Shape immutability is what makes warm re-solving sound: a basis of the old
+// program names columns that still exist, with the same sparsity, in the new
+// one (see revised.h). Columns are stored sparse (one entry list per
+// structural variable) because progressive-filling matrices have ~3 nonzeros
+// per column regardless of instance size.
+//
+// Row i's dedicated logical slack column (index num_variables() + i) is
+// implied, not stored: +1 for kLessEqual rows, -1 (surplus) for
+// kGreaterEqual rows, and -1-but-banned for kEqual rows, so relaxing an
+// equality to >= only lifts a ban and never alters the matrix.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "lp/simplex.h"
+
+namespace tsf::lp {
+
+class StandardForm {
+ public:
+  struct Entry {
+    std::uint32_t row;
+    double value;
+  };
+
+  explicit StandardForm(std::size_t num_variables);
+
+  // --- Shape construction (before Finalize) ---
+
+  // Adds `terms · x  relation  rhs` and returns the row index. Duplicate
+  // variables within `terms` accumulate.
+  std::size_t AddRow(const std::vector<std::pair<std::size_t, double>>& terms,
+                     Relation relation, double rhs);
+
+  void SetObjectiveCoefficient(std::size_t variable, double coefficient);
+
+  // Freezes the shape and compiles column-major storage. Must be called
+  // exactly once, before any solve or value mutation.
+  void Finalize();
+
+  // --- Shape-preserving value mutations (after Finalize) ---
+
+  void SetRhs(std::size_t row, double rhs);
+
+  // kEqual -> kGreaterEqual with a new rhs (unbans the row's surplus). The
+  // reverse direction would require driving a basic surplus out of every
+  // dependent basis and is deliberately unsupported.
+  void RelaxEquality(std::size_t row, double rhs);
+
+  // Overwrites the coefficient held in an existing (row, variable) slot and
+  // returns the previous value. The slot must have been created by AddRow —
+  // writing a brand-new nonzero would change the shape.
+  double SetCoefficient(std::size_t row, std::size_t variable, double value);
+
+  // --- Accessors ---
+
+  bool finalized() const { return finalized_; }
+  std::size_t num_variables() const { return num_variables_; }
+  std::size_t num_rows() const { return relation_.size(); }
+  Relation relation(std::size_t row) const { return relation_[row]; }
+  double rhs(std::size_t row) const { return rhs_[row]; }
+  const std::vector<double>& rhs() const { return rhs_; }
+  const std::vector<double>& objective() const { return objective_; }
+  const std::vector<Entry>& column(std::size_t variable) const {
+    return columns_[variable];
+  }
+
+  // Rebuilds an equivalent dense Problem — the executable-spec solver used
+  // for differential testing and as the warm path's last-resort fallback.
+  Problem ToDenseProblem() const;
+
+ private:
+  std::size_t num_variables_;
+  bool finalized_ = false;
+  std::vector<double> objective_;
+  std::vector<double> rhs_;
+  std::vector<Relation> relation_;
+
+  // Build-time row-major staging; cleared by Finalize.
+  std::vector<std::vector<std::pair<std::size_t, double>>> build_rows_;
+
+  // Compiled column-major storage, one entry list per structural variable,
+  // row-sorted within each column.
+  std::vector<std::vector<Entry>> columns_;
+};
+
+}  // namespace tsf::lp

@@ -1,0 +1,264 @@
+// Differential tests: the warm-started revised simplex (lp/revised.h) against
+// the dense tableau solver (lp/simplex.h), which serves as the executable
+// spec. Randomized programs — feasible, infeasible, unbounded, and
+// degenerate — must agree on status, and on the objective to 1e-9, both on
+// cold solves and after chains of shape-preserving mutations re-solved warm.
+
+#include <cmath>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lp/revised.h"
+#include "lp/simplex.h"
+#include "lp/standard_form.h"
+#include "util/rng.h"
+
+namespace tsf::lp {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+struct RandomProgram {
+  StandardForm form;
+  // Every (row, variable) slot created by AddRow, for mutation picking.
+  std::vector<std::pair<std::size_t, std::size_t>> slots;
+  std::vector<std::size_t> equality_rows;
+};
+
+// Small integer coefficients keep the programs well-conditioned so the two
+// solvers' roundoff stays far inside kTol; duplicate rows and repeated
+// columns are injected deliberately to create degenerate ties.
+RandomProgram MakeRandomProgram(Rng& rng, bool feasible_by_construction) {
+  const std::size_t n = static_cast<std::size_t>(rng.Int(1, 5));
+  const std::size_t m = static_cast<std::size_t>(rng.Int(1, 7));
+  RandomProgram program{StandardForm(n), {}, {}};
+
+  std::vector<double> target(n, 0.0);
+  if (feasible_by_construction)
+    for (double& x : target) x = static_cast<double>(rng.Int(0, 4));
+
+  std::vector<std::vector<std::pair<std::size_t, double>>> rows;
+  for (std::size_t r = 0; r < m; ++r) {
+    std::vector<std::pair<std::size_t, double>> terms;
+    if (!rows.empty() && rng.Chance(0.15)) {
+      terms = rows[rng.Below(rows.size())];  // duplicate row: degenerate tie
+    } else {
+      const std::size_t nnz = static_cast<std::size_t>(
+          rng.Int(1, static_cast<std::int64_t>(n)));
+      std::vector<std::size_t> vars(n);
+      for (std::size_t v = 0; v < n; ++v) vars[v] = v;
+      rng.Shuffle(vars);
+      for (std::size_t k = 0; k < nnz; ++k) {
+        double coeff = static_cast<double>(rng.Int(-3, 3));
+        if (coeff == 0.0) coeff = 1.0;
+        terms.emplace_back(vars[k], coeff);
+      }
+    }
+    rows.push_back(terms);
+
+    const int relation_pick = static_cast<int>(rng.Int(0, 2));
+    const Relation relation = relation_pick == 0   ? Relation::kLessEqual
+                              : relation_pick == 1 ? Relation::kGreaterEqual
+                                                   : Relation::kEqual;
+    double rhs;
+    if (feasible_by_construction) {
+      double value = 0.0;
+      for (const auto& [v, coeff] : terms) value += coeff * target[v];
+      const double slack = static_cast<double>(rng.Int(0, 3));
+      rhs = relation == Relation::kLessEqual      ? value + slack
+            : relation == Relation::kGreaterEqual ? value - slack
+                                                  : value;
+    } else {
+      rhs = static_cast<double>(rng.Int(-4, 8));
+    }
+    const std::size_t row = program.form.AddRow(terms, relation, rhs);
+    for (const auto& [v, unused] : terms) program.slots.emplace_back(row, v);
+    if (relation == Relation::kEqual) program.equality_rows.push_back(row);
+  }
+  for (std::size_t v = 0; v < n; ++v)
+    program.form.SetObjectiveCoefficient(v,
+                                         static_cast<double>(rng.Int(-3, 3)));
+  program.form.Finalize();
+  return program;
+}
+
+void ExpectAgreement(const Solution& dense, const Solution& revised,
+                     const char* context) {
+  ASSERT_EQ(dense.status, revised.status) << context;
+  if (dense.status != SolveStatus::kOptimal) return;
+  const double scale = std::max(1.0, std::abs(dense.objective));
+  EXPECT_NEAR(dense.objective, revised.objective, kTol * scale) << context;
+}
+
+// The optimal x reported by the revised path must actually satisfy the
+// program it claims to solve — a stronger check than objective agreement
+// (two wrong vertices can share an objective).
+void ExpectFeasible(const StandardForm& form, const Solution& solution) {
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  ASSERT_EQ(solution.x.size(), form.num_variables());
+  std::vector<double> activity(form.num_rows(), 0.0);
+  for (std::size_t v = 0; v < form.num_variables(); ++v) {
+    EXPECT_GE(solution.x[v], 0.0);
+    for (const StandardForm::Entry& entry : form.column(v))
+      activity[entry.row] += entry.value * solution.x[v];
+  }
+  for (std::size_t r = 0; r < form.num_rows(); ++r) {
+    const double slack = form.rhs(r) - activity[r];
+    switch (form.relation(r)) {
+      case Relation::kLessEqual:
+        EXPECT_GE(slack, -1e-6) << "row " << r;
+        break;
+      case Relation::kGreaterEqual:
+        EXPECT_LE(slack, 1e-6) << "row " << r;
+        break;
+      case Relation::kEqual:
+        EXPECT_NEAR(slack, 0.0, 1e-6) << "row " << r;
+        break;
+    }
+  }
+}
+
+TEST(LpDifferentialTest, ColdSolveMatchesDenseOnRandomPrograms) {
+  Rng rng(7041);
+  int optimal = 0, infeasible = 0, unbounded = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    RandomProgram program = MakeRandomProgram(rng, trial % 2 == 0);
+    const Solution dense = program.form.ToDenseProblem().Solve();
+    SimplexState state(std::move(program.form));
+    const Solution& revised = state.Solve();
+    ExpectAgreement(dense, revised, "cold");
+    switch (dense.status) {
+      case SolveStatus::kOptimal:
+        ++optimal;
+        ExpectFeasible(state.form(), revised);
+        break;
+      case SolveStatus::kInfeasible:
+        ++infeasible;
+        break;
+      case SolveStatus::kUnbounded:
+        ++unbounded;
+        break;
+    }
+  }
+  // The generator must actually exercise all three statuses.
+  EXPECT_GT(optimal, 50);
+  EXPECT_GT(infeasible, 20);
+  EXPECT_GT(unbounded, 20);
+}
+
+TEST(LpDifferentialTest, WarmResolveMatchesDenseAcrossMutationChains) {
+  Rng rng(9102);
+  std::uint64_t warm_total = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    RandomProgram program = MakeRandomProgram(rng, true);
+    std::vector<std::pair<std::size_t, std::size_t>> slots = program.slots;
+    std::vector<std::size_t> equalities = program.equality_rows;
+    SimplexState state(std::move(program.form));
+    state.Solve();
+    for (int step = 0; step < 6; ++step) {
+      const int kind = static_cast<int>(rng.Int(0, 2));
+      if (kind == 0) {
+        const std::size_t row = rng.Below(state.form().num_rows());
+        state.SetRhs(row, state.form().rhs(row) +
+                              static_cast<double>(rng.Int(-2, 2)));
+      } else if (kind == 1 && !equalities.empty()) {
+        const std::size_t pick = rng.Below(equalities.size());
+        const std::size_t row = equalities[pick];
+        equalities.erase(equalities.begin() +
+                         static_cast<std::ptrdiff_t>(pick));
+        state.RelaxEquality(row, state.form().rhs(row) -
+                                     static_cast<double>(rng.Int(0, 2)));
+      } else {
+        const auto [row, variable] = slots[rng.Below(slots.size())];
+        state.SetCoefficient(row, variable,
+                             static_cast<double>(rng.Int(-3, 3)));
+      }
+      const Solution dense = state.form().ToDenseProblem().Solve();
+      const Solution& revised = state.Solve();
+      ExpectAgreement(dense, revised, "warm chain");
+      if (dense.status == SolveStatus::kOptimal)
+        ExpectFeasible(state.form(), revised);
+    }
+    warm_total += state.stats().warm_solves;
+  }
+  // The whole point of the engine: a healthy share of re-solves must take
+  // the warm path (rhs-only and relaxation-only steps always qualify).
+  EXPECT_GT(warm_total, 200u);
+}
+
+TEST(LpDifferentialTest, FreezeProbeShapedMutationsStayWarm) {
+  // The progressive-filling probe pattern in miniature: equality coupling
+  // rows with a shared "share" column, relax one user's row to a floor and
+  // zero its share coefficient, re-solve, then undo via fresh rhs/coeffs.
+  StandardForm form(4);  // x0, x1 (allocations), x2 unused, s = variable 3
+  const std::size_t user0 =
+      form.AddRow({{0, 1.0}, {3, -2.0}}, Relation::kEqual, 0.0);
+  form.AddRow({{1, 1.0}, {3, -1.0}}, Relation::kEqual, 0.0);
+  form.AddRow({{0, 1.0}, {1, 1.0}}, Relation::kLessEqual, 9.0);
+  form.SetObjectiveCoefficient(3, 1.0);
+  form.Finalize();
+
+  SimplexState state(std::move(form));
+  const Solution& round = state.Solve();
+  ASSERT_EQ(round.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(round.objective, 3.0, kTol);  // 2s + s = 9
+  EXPECT_EQ(state.stats().cold_solves, 1u);
+
+  // Probe: user 0 drops to floor 1.0; its share coupling disappears.
+  state.SetCoefficient(user0, 3, 0.0);
+  state.RelaxEquality(user0, 1.0);
+  const Solution& probe = state.Solve();
+  ASSERT_EQ(probe.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(probe.objective, 8.0, kTol);  // x0 = 1, x1 = s = 8
+  EXPECT_EQ(state.stats().warm_solves, 1u);
+  EXPECT_EQ(state.stats().cold_solves, 1u);
+  EXPECT_EQ(state.stats().dense_fallbacks, 0u);
+
+  const Solution dense = state.form().ToDenseProblem().Solve();
+  ExpectAgreement(dense, probe, "freeze probe");
+}
+
+TEST(LpDifferentialTest, InfeasibleAfterMutationIsDetected) {
+  StandardForm form(2);
+  form.AddRow({{0, 1.0}, {1, 1.0}}, Relation::kLessEqual, 4.0);
+  const std::size_t floor_row =
+      form.AddRow({{0, 1.0}}, Relation::kGreaterEqual, 1.0);
+  form.SetObjectiveCoefficient(0, 1.0);
+  form.Finalize();
+
+  SimplexState state(std::move(form));
+  ASSERT_EQ(state.Solve().status, SolveStatus::kOptimal);
+  state.SetRhs(floor_row, 10.0);  // floor above capacity
+  EXPECT_EQ(state.Solve().status, SolveStatus::kInfeasible);
+  state.SetRhs(floor_row, 2.0);  // feasible again, but after an invalid state
+  const Solution& back = state.Solve();
+  ASSERT_EQ(back.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(back.objective, 4.0, kTol);
+}
+
+TEST(LpDifferentialTest, UnboundedDetectedByRevisedPath) {
+  StandardForm form(2);
+  form.AddRow({{0, 1.0}, {1, -1.0}}, Relation::kLessEqual, 1.0);
+  form.SetObjectiveCoefficient(0, 1.0);
+  form.Finalize();
+  SimplexState state(std::move(form));
+  EXPECT_EQ(state.Solve().status, SolveStatus::kUnbounded);
+}
+
+TEST(LpDifferentialTest, SolutionReferenceIsCachedUntilMutation) {
+  StandardForm form(1);
+  form.AddRow({{0, 1.0}}, Relation::kLessEqual, 5.0);
+  form.SetObjectiveCoefficient(0, 1.0);
+  form.Finalize();
+  SimplexState state(std::move(form));
+  state.Solve();
+  state.Solve();
+  state.Solve();
+  EXPECT_EQ(state.stats().solves, 1u);  // repeat Solve() calls are free
+}
+
+}  // namespace
+}  // namespace tsf::lp

@@ -268,6 +268,12 @@ SELF_TEST_CASES = [
     (rule_telemetry_macros,  # guard must actually be TSF_TELEMETRY
      {"src/core/thing.cc":
       "#ifdef OTHER_FLAG\nvoid F() { telemetry::Tracer::Get(); }\n#endif\n"}),
+    (rule_telemetry_macros,  # the warm LP engine is hot-path: src/lp/ must
+     {"src/lp/revised.cc":   # never touch instrumentation outside the macros
+      "void Solve() { telemetry::Registry::Get(); }\n"}),
+    (rule_telemetry_macros,
+     {"src/lp/standard_form.cc":
+      "#ifdef NDEBUG\nvoid F() { telemetry::ScopedSpan s; }\n#endif\n"}),
     (rule_include_cycles,
      {"src/a/a.h": '#pragma once\n#include "b/b.h"\n',
       "src/b/b.h": '#pragma once\n#include "a/a.h"\n'}),
@@ -289,6 +295,10 @@ SELF_TEST_CLEAN = [
     (rule_telemetry_macros,  # data API is always-compiled by design
      {"src/sim/thing.cc":
       "std::vector<telemetry::FairnessSample> samples;\n"}),
+    (rule_telemetry_macros,  # the TSF_* macros are how src/lp instruments:
+     {"src/lp/revised.cc":   # they compile out under -DTSF_TELEMETRY=OFF
+      'void Solve() { TSF_COUNTER_ADD("lp.iterations", 1); }\n'
+      'void Trace() { TSF_TRACE_SCOPE("lp", "Solve"); }\n'}),
     (rule_entry_point_checks,
      {"src/core/thing.cc": "void Api(int x) { TSF_CHECK(x > 0); }\n"}),
     (rule_include_cycles,
