@@ -21,6 +21,12 @@ constexpr double kFeasEps = 1e-7;
 // make the basis (numerically) singular; refactor instead.
 constexpr double kSingularEps = 1e-9;
 
+// Minimum pivot magnitude for the banned-basic drive-out preference. The
+// drive-out pivot skips the ratio test, so the entering variable lands at
+// xb/d; requiring |xb| <= kEps and |d| > kDriveOutEps bounds that step by
+// kEps / kDriveOutEps — (near-)degenerate, never a feasibility jump.
+constexpr double kDriveOutEps = 1e-6;
+
 constexpr std::size_t kNoRow = std::numeric_limits<std::size_t>::max();
 
 }  // namespace
@@ -187,13 +193,15 @@ SimplexState::IterateResult SimplexState::Iterate(bool phase1) {
     Ftran(entering, d);
 
     // Leaving row. A banned basic column (artificial, or the surplus of an
-    // equality row) sitting at level zero leaves first whenever the entering
-    // direction touches its row at all: pivoting it out is free (the basic
-    // value is zero) and stops later pivots from drifting it positive.
+    // equality row) sitting at (essentially) level zero leaves first when the
+    // entering direction gives it a well-scaled pivot: the step is bounded
+    // degenerate (see kDriveOutEps) and stops later pivots from drifting the
+    // banned column positive. A tiny |d[r]| must not qualify — the entering
+    // value xb/d could then be a real feasibility violation.
     std::size_t leaving = m;
     for (std::size_t r = 0; r < m; ++r) {
-      if (IsBannedBasic(basis_[r]) && std::abs(d[r]) > kEps &&
-          xb_[r] <= kFeasEps) {
+      if (IsBannedBasic(basis_[r]) && std::abs(d[r]) > kDriveOutEps &&
+          std::abs(xb_[r]) <= kEps) {
         leaving = r;
         break;
       }
@@ -204,11 +212,14 @@ SimplexState::IterateResult SimplexState::Iterate(bool phase1) {
         const double coeff = d[r];
         if (coeff <= kEps) continue;
         const double ratio = std::max(xb_[r], 0.0) / coeff;
-        if (ratio < best_ratio - kEps ||
-            (use_bland && ratio < best_ratio + kEps && leaving < m &&
-             basis_[r] < basis_[leaving])) {
+        if (leaving == m || ratio < best_ratio - kEps) {
           best_ratio = ratio;
           leaving = r;
+        } else if (ratio < best_ratio + kEps) {
+          // Near-tie: best_ratio tracks the true minimum (no upward drift),
+          // and under Bland the smallest basis index among tied rows leaves.
+          best_ratio = std::min(best_ratio, ratio);
+          if (use_bland && basis_[r] < basis_[leaving]) leaving = r;
         }
       }
     }
@@ -260,12 +271,14 @@ bool SimplexState::Refactor() {
       if (std::abs(work[r * m + j]) > std::abs(work[pivot * m + j])) pivot = r;
     if (std::abs(work[pivot * m + j]) < 1e-11) return false;
     if (pivot != j) {
+      // Only the elimination rows swap: Gauss-Jordan on [B | I] absorbs row
+      // swaps into the product and yields B^-1 in the ORIGINAL basis-position
+      // order, so basis_ (keyed by basis position) and art_sign_ (keyed by
+      // constraint row) must not be permuted here.
       for (std::size_t k = 0; k < m; ++k) {
         std::swap(work[pivot * m + k], work[j * m + k]);
         std::swap(binv_[pivot * m + k], binv_[j * m + k]);
       }
-      std::swap(basis_[pivot], basis_[j]);
-      std::swap(art_sign_[pivot], art_sign_[j]);
     }
     const double inv = 1.0 / work[j * m + j];
     for (std::size_t k = 0; k < m; ++k) {
@@ -333,16 +346,22 @@ bool SimplexState::ApplyPendingColumnUpdates() {
   return true;
 }
 
+bool SimplexState::BasicValuesFeasible() const {
+  for (std::size_t r = 0; r < form_.num_rows(); ++r) {
+    if (xb_[r] < -kFeasEps) return false;
+    // A banned column basic at a real level means the equality (or
+    // artificial) it stands for is violated.
+    if (IsBannedBasic(basis_[r]) && xb_[r] > kFeasEps) return false;
+  }
+  return true;
+}
+
 bool SimplexState::WarmSolve() {
   if (!ApplyPendingColumnUpdates()) return false;
   ComputeBasicValues();
-  for (std::size_t r = 0; r < form_.num_rows(); ++r) {
-    if (xb_[r] < -kFeasEps) return false;  // phase 1 would be needed
-    // A banned column stuck basic at a real level means the equality (or
-    // artificial) it stands for is now violated; only a cold solve can fix
-    // the basis structure.
-    if (IsBannedBasic(basis_[r]) && xb_[r] > kFeasEps) return false;
-  }
+  // An infeasible warm basis would need phase 1; a banned column stuck basic
+  // at a real level needs a cold solve to fix the basis structure.
+  if (!BasicValuesFeasible()) return false;
   ++stats_.warm_solves;
   TSF_COUNTER_ADD("lp.warm_hits", 1);
   TSF_COUNTER_ADD("lp.phase1_skipped", 1);
@@ -356,6 +375,9 @@ bool SimplexState::WarmSolve() {
     state_valid_ = false;
     return true;
   }
+  // Iterate's ratio test tolerates kEps-scale drift; certify the optimum
+  // before reporting it, and let the cold path handle anything that drifted.
+  if (!BasicValuesFeasible()) return false;
   ExtractSolution();
   return true;
 }
@@ -448,6 +470,13 @@ void SimplexState::ColdSolve() {
     state_valid_ = false;
     return;
   }
+  if (!BasicValuesFeasible()) {
+    // Degenerate pivoting drifted a basic value out of tolerance: rebuild
+    // with the dense executable spec rather than report an uncertified
+    // optimum.
+    DenseFallback();
+    return;
+  }
   ExtractSolution();
   state_valid_ = true;
 }
@@ -481,7 +510,10 @@ const Solution& SimplexState::Solve() {
   TSF_TRACE_SCOPE("lp", "Solve");
   ++stats_.solves;
   bool done = false;
-  if (state_valid_) done = WarmSolve();
+  if (state_valid_) {
+    done = WarmSolve();
+    if (!done) TSF_COUNTER_ADD("lp.warm_fallbacks", 1);
+  }
   if (!done) {
     pending_.clear();
     ColdSolve();

@@ -83,6 +83,7 @@ class SimplexState {
   IterateResult Iterate(bool phase1);
 
   void ComputeBasicValues();        // xb_ = binv_ * rhs
+  bool BasicValuesFeasible() const; // xb_ within tolerance, no banned basics up
   bool Refactor();                  // rebuild binv_ from basis_; false if singular
   bool ApplyPendingColumnUpdates(); // Sherman-Morrison; false if refactor failed
   bool WarmSolve();                 // false => caller must cold-solve

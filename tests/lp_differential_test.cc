@@ -221,6 +221,54 @@ TEST(LpDifferentialTest, FreezeProbeShapedMutationsStayWarm) {
   ExpectAgreement(dense, probe, "freeze probe");
 }
 
+TEST(LpDifferentialTest, RefactorPathAfterNearSingularColumnUpdate) {
+  // Column updates that swap the two basic columns' contents. Applying the
+  // first column's delta alone makes the basis singular (Sherman-Morrison
+  // beta = 1 + u[pos] = 0), so the warm path must Refactor() from the fully
+  // mutated form — and the Gauss-Jordan there needs a partial-pivoting row
+  // swap (work[0][0] == 0), pinning that binv_ comes back in the original
+  // basis-position order (basis_/art_sign_ untouched by the swap).
+  StandardForm form(2);
+  form.AddRow({{0, 1.0}, {1, 0.0}}, Relation::kLessEqual, 1.0);
+  form.AddRow({{0, 0.0}, {1, 1.0}}, Relation::kLessEqual, 2.0);
+  form.SetObjectiveCoefficient(0, 2.0);
+  form.SetObjectiveCoefficient(1, 1.0);
+  form.Finalize();
+
+  SimplexState state(std::move(form));
+  const Solution& first = state.Solve();
+  ASSERT_EQ(first.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(first.objective, 4.0, kTol);  // x = (1, 2)
+  ASSERT_EQ(state.stats().cold_solves, 1u);
+
+  state.SetCoefficient(0, 0, 0.0);  // col0 <- e1: beta hits 0 exactly
+  state.SetCoefficient(1, 0, 1.0);
+  state.SetCoefficient(0, 1, 1.0);  // col1 <- e0: refactored basis is
+  state.SetCoefficient(1, 1, 0.0);  // nonsingular, but needs the row swap
+
+  const Solution dense = state.form().ToDenseProblem().Solve();
+  const Solution& revised = state.Solve();
+  ExpectAgreement(dense, revised, "refactor");
+  ASSERT_EQ(revised.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(revised.objective, 5.0, kTol);  // x1 <= 1, x0 <= 2
+  EXPECT_NEAR(revised.x[0], 2.0, kTol);
+  EXPECT_NEAR(revised.x[1], 1.0, kTol);
+  ExpectFeasible(state.form(), revised);
+  EXPECT_EQ(state.stats().warm_solves, 1u);  // refactor stayed on the warm path
+  EXPECT_EQ(state.stats().cold_solves, 1u);
+  EXPECT_EQ(state.stats().dense_fallbacks, 0u);
+
+  // The refactored state must stay consistent across further warm re-solves.
+  state.SetRhs(0, 3.0);
+  const Solution dense_after = state.form().ToDenseProblem().Solve();
+  const Solution& after = state.Solve();
+  ExpectAgreement(dense_after, after, "post-refactor warm");
+  ASSERT_EQ(after.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(after.objective, 7.0, kTol);  // x = (2, 3)
+  ExpectFeasible(state.form(), after);
+  EXPECT_EQ(state.stats().warm_solves, 2u);
+}
+
 TEST(LpDifferentialTest, InfeasibleAfterMutationIsDetected) {
   StandardForm form(2);
   form.AddRow({{0, 1.0}, {1, 1.0}}, Relation::kLessEqual, 4.0);
