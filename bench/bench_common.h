@@ -51,7 +51,9 @@ struct MacroConfig {
 
   // SimOptions carrying the fairness sampling period into Simulate/RunSeeds.
   SimOptions sim_options() const {
-    return SimOptions{.fairness_sample_interval = fairness_interval};
+    SimOptions options;
+    options.fairness_sample_interval = fairness_interval;
+    return options;
   }
 };
 

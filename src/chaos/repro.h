@@ -1,0 +1,44 @@
+// Repro files: committed, replayable records of a failing chaos scenario.
+//
+// A repro carries everything needed to rebuild a failure from scratch: the
+// substrate, the scenario seed (workload/cluster generators are
+// seed-deterministic), the policy, the (shrunk) fault plan, and — for
+// harness self-tests — which deliberately injected bug was armed. The text
+// format is line-oriented and diff-friendly; tests/repros/*.txt are replayed
+// by scenario_replay_test to keep shipped repros evergreen.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/fault_plan.h"
+#include "chaos/invariants.h"
+
+namespace tsf::chaos {
+
+struct Repro {
+  std::string substrate;            // "des" | "mesos"
+  std::uint64_t scenario_seed = 0;  // RandomChaosWorkload / RandomMesosScenario
+  // DES: online policy name (FIFO/DRF/CDRF/CPU/Mem/TSF); Mesos: ignored
+  // (the allocator policy is derived from the scenario seed).
+  std::string policy = "TSF";
+  std::string injected_bug = "none";  // "none" | "leak_task_on_crash"
+  FaultPlan plan;
+  // Informational: the first violation observed when the repro was minted.
+  std::string violation;
+
+  bool operator==(const Repro&) const = default;
+};
+
+std::string SerializeRepro(const Repro& repro);
+// Parses the SerializeRepro format; TSF_CHECK-fails on malformed input.
+Repro ParseRepro(const std::string& text);
+
+// Rebuilds the scenario from the seed, arms the injected bug (and disarms
+// it afterwards), runs the plan, and returns the violations observed — an
+// intact repro returns a non-empty list iff a bug (injected or real) is
+// still present.
+std::vector<Violation> ReplayRepro(const Repro& repro);
+
+}  // namespace tsf::chaos

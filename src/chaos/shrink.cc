@@ -1,0 +1,103 @@
+#include "chaos/shrink.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+
+namespace tsf::chaos {
+namespace {
+
+// An atom is the indices (into the original plan) of events that must be
+// kept or removed together.
+using Atom = std::vector<std::size_t>;
+
+std::vector<Atom> BuildAtoms(const FaultPlan& plan) {
+  const std::vector<FaultSpec>& events = plan.events;
+  std::vector<bool> used(events.size(), false);
+  std::vector<Atom> atoms;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (used[i]) continue;
+    used[i] = true;
+    Atom atom{i};
+    const FaultKind opener = events[i].kind;
+    const FaultKind closer =
+        opener == FaultKind::kMachineCrash     ? FaultKind::kMachineRestart
+        : opener == FaultKind::kFrameworkDisconnect
+            ? FaultKind::kFrameworkReregister
+            : opener;  // self: no pairing
+    if (closer != opener) {
+      bool paired = false;
+      for (std::size_t j = i + 1; j < events.size(); ++j) {
+        if (used[j] || events[j].kind != closer ||
+            events[j].target != events[i].target)
+          continue;
+        used[j] = true;
+        atom.push_back(j);
+        paired = true;
+        break;
+      }
+      TSF_CHECK(paired) << "unpaired " << ToString(opener) << " at event "
+                        << i << " — validate the plan before shrinking";
+    }
+    atoms.push_back(std::move(atom));
+  }
+  return atoms;
+}
+
+FaultPlan PlanFromAtoms(const FaultPlan& plan, const std::vector<Atom>& atoms) {
+  std::vector<std::size_t> keep;
+  for (const Atom& atom : atoms)
+    keep.insert(keep.end(), atom.begin(), atom.end());
+  std::sort(keep.begin(), keep.end());
+  FaultPlan subset;
+  subset.events.reserve(keep.size());
+  for (const std::size_t i : keep) subset.events.push_back(plan.events[i]);
+  return subset;
+}
+
+}  // namespace
+
+ShrinkResult ShrinkFaultPlan(const FaultPlan& plan,
+                             const PlanPredicate& still_fails) {
+  ShrinkResult result;
+  auto fails = [&](const std::vector<Atom>& atoms) {
+    ++result.predicate_calls;
+    return still_fails(PlanFromAtoms(plan, atoms));
+  };
+
+  std::vector<Atom> current = BuildAtoms(plan);
+  TSF_CHECK(fails(current)) << "plan does not fail before shrinking";
+
+  // ddmin: try dropping ever-finer chunks of atoms; whenever a complement
+  // still fails, recurse on it. Terminates at a 1-minimal atom set.
+  std::size_t granularity = std::min<std::size_t>(2, current.size());
+  while (current.size() >= 2) {
+    const std::size_t chunk =
+        (current.size() + granularity - 1) / granularity;
+    bool reduced = false;
+    for (std::size_t start = 0; start < current.size(); start += chunk) {
+      std::vector<Atom> complement;
+      complement.reserve(current.size());
+      for (std::size_t a = 0; a < current.size(); ++a)
+        if (a < start || a >= start + chunk) complement.push_back(current[a]);
+      if (complement.empty()) continue;
+      if (fails(complement)) {
+        current = std::move(complement);
+        granularity = std::max<std::size_t>(
+            2, std::min(granularity - 1, current.size()));
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (granularity >= current.size()) break;  // 1-minimal
+      granularity = std::min(granularity * 2, current.size());
+    }
+  }
+
+  result.plan = PlanFromAtoms(plan, current);
+  return result;
+}
+
+}  // namespace tsf::chaos

@@ -1,0 +1,31 @@
+// Delta-debugging of failing fault plans (Zeller's ddmin).
+//
+// The shrink unit is an *atom*, not an event: a crash and its matching
+// restart (and a disconnect and its re-register) are removed together, so
+// every candidate plan stays well-formed — no outage is left unlifted and
+// every candidate run terminates. ddmin reduces the atom set to 1-minimal:
+// removing any single remaining atom makes the failure disappear.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "chaos/fault_plan.h"
+
+namespace tsf::chaos {
+
+// Returns true iff the candidate plan still reproduces the failure.
+// Candidates passed in are always well-formed subsets of the original plan
+// with the original time order preserved.
+using PlanPredicate = std::function<bool(const FaultPlan&)>;
+
+struct ShrinkResult {
+  FaultPlan plan;                   // 1-minimal failing plan
+  std::size_t predicate_calls = 0;  // scenario executions spent shrinking
+};
+
+// Precondition: still_fails(plan) is true (TSF_CHECK-verified up front).
+ShrinkResult ShrinkFaultPlan(const FaultPlan& plan,
+                             const PlanPredicate& still_fails);
+
+}  // namespace tsf::chaos

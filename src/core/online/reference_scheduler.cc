@@ -12,6 +12,8 @@ ReferenceScheduler::ReferenceScheduler(
     std::vector<ResourceVector> machine_capacity, OnlinePolicy policy)
     : policy_(std::move(policy)),
       free_(std::move(machine_capacity)),
+      capacity_(free_),
+      down_(free_.size(), false),
       machine_users_(free_.size()) {
   TSF_CHECK(!free_.empty());
 }
@@ -19,6 +21,7 @@ ReferenceScheduler::ReferenceScheduler(
 UserId ReferenceScheduler::AddUser(OnlineUserSpec spec) {
   TSF_CHECK_EQ(spec.eligible.size(), free_.size());
   TSF_CHECK(spec.eligible.Any());
+  TSF_CHECK_GT(spec.demand.MaxComponent(), 0.0) << "all-zero task demand";
   TSF_CHECK_GT(spec.weight, 0.0);
   TSF_CHECK_GT(spec.h, 0.0);
   TSF_CHECK_GT(spec.g, 0.0);
@@ -47,9 +50,24 @@ void ReferenceScheduler::AddPending(UserId user, long count) {
 void ReferenceScheduler::OnTaskFinish(UserId user, MachineId machine) {
   User& u = users_[user];
   TSF_CHECK_GT(u.running, 0);
+  TSF_CHECK(!down_[machine]) << "finish on crashed machine " << machine;
   TSF_CHECK(u.eligible.Test(machine));
   --u.running;
   free_[machine] += u.demand;
+}
+
+void ReferenceScheduler::CrashMachine(MachineId machine) {
+  TSF_CHECK_LT(machine, free_.size());
+  TSF_CHECK(!down_[machine]) << "machine " << machine << " already down";
+  free_[machine] = ResourceVector(capacity_[machine].dimension());
+  down_[machine] = true;
+}
+
+void ReferenceScheduler::RestoreMachine(MachineId machine) {
+  TSF_CHECK_LT(machine, free_.size());
+  TSF_CHECK(down_[machine]) << "machine " << machine << " is not down";
+  free_[machine] = capacity_[machine];
+  down_[machine] = false;
 }
 
 void ReferenceScheduler::Retire(UserId user) {

@@ -33,6 +33,12 @@ class ReferenceScheduler {
   void OnTaskFinish(UserId user, MachineId machine);
   void Retire(UserId user);
 
+  // Chaos hooks, mirroring OnlineScheduler (see its header for the caller
+  // contract: running tasks are requeued before the crash).
+  void CrashMachine(MachineId machine);
+  void RestoreMachine(MachineId machine);
+  bool MachineDown(MachineId machine) const { return down_[machine]; }
+
   void PlaceUserGreedy(UserId user,
                        const std::function<void(MachineId)>& on_place);
   void PlaceUsersInterleaved(
@@ -73,6 +79,8 @@ class ReferenceScheduler {
 
   OnlinePolicy policy_;
   std::vector<ResourceVector> free_;
+  std::vector<ResourceVector> capacity_;
+  std::vector<bool> down_;
   std::vector<User> users_;
   std::vector<std::vector<UserId>> machine_users_;
 };

@@ -12,6 +12,8 @@ OnlineScheduler::OnlineScheduler(std::vector<ResourceVector> machine_capacity,
                                  OnlinePolicy policy)
     : policy_(std::move(policy)),
       free_(std::move(machine_capacity)),
+      capacity_(free_),
+      down_(free_.size(), false),
       machine_users_(free_.size()) {
   TSF_CHECK(!free_.empty());
 }
@@ -19,6 +21,9 @@ OnlineScheduler::OnlineScheduler(std::vector<ResourceVector> machine_capacity,
 UserId OnlineScheduler::AddUser(OnlineUserSpec spec) {
   TSF_CHECK_EQ(spec.eligible.size(), free_.size());
   TSF_CHECK(spec.eligible.Any());
+  // An all-zero demand would "fit" even a crashed (zero-capacity) machine
+  // and has an infinite monopoly count; reject it at the boundary.
+  TSF_CHECK_GT(spec.demand.MaxComponent(), 0.0) << "all-zero task demand";
   TSF_CHECK_GT(spec.weight, 0.0);
   TSF_CHECK_GT(spec.h, 0.0);
   TSF_CHECK_GT(spec.g, 0.0);
@@ -64,6 +69,7 @@ void OnlineScheduler::AddPending(UserId user, long count) {
 void OnlineScheduler::OnTaskFinish(UserId user, MachineId machine) {
   User& u = users_[user];
   TSF_CHECK_GT(u.running, 0);
+  TSF_CHECK(!down_[machine]) << "finish on crashed machine " << machine;
   TSF_CHECK(u.eligible.Test(machine));
   --u.running;
   UpdateKey(u);
@@ -73,6 +79,20 @@ void OnlineScheduler::OnTaskFinish(UserId user, MachineId machine) {
 void OnlineScheduler::Retire(UserId user) {
   TSF_CHECK_LT(user, users_.size());
   users_[user].retired = true;
+}
+
+void OnlineScheduler::CrashMachine(MachineId machine) {
+  TSF_CHECK_LT(machine, free_.size());
+  TSF_CHECK(!down_[machine]) << "machine " << machine << " already down";
+  free_[machine] = ResourceVector(capacity_[machine].dimension());
+  down_[machine] = true;
+}
+
+void OnlineScheduler::RestoreMachine(MachineId machine) {
+  TSF_CHECK_LT(machine, free_.size());
+  TSF_CHECK(down_[machine]) << "machine " << machine << " is not down";
+  free_[machine] = capacity_[machine];
+  down_[machine] = false;
 }
 
 double OnlineScheduler::Key(UserId user) const { return users_[user].key; }

@@ -75,6 +75,16 @@ class OnlineScheduler {
   // Marks a user finished so serve loops skip it cheaply.
   void Retire(UserId user);
 
+  // --- chaos hooks (src/chaos fault injection) ----------------------------
+  // Takes a machine offline: its free capacity drops to zero so no task can
+  // be placed there. The caller requeues every task running on the machine
+  // *before* crashing it (OnTaskFinish + AddPending per task): the scheduler
+  // tracks capacity, not placements, so it cannot do the kills itself.
+  void CrashMachine(MachineId machine);
+  // Brings a crashed machine back online, empty (full capacity free).
+  void RestoreMachine(MachineId machine);
+  bool MachineDown(MachineId machine) const { return down_[machine]; }
+
   // Greedy placement over every eligible machine for one user; invokes
   // on_place(machine) per task placed (resources already debited).
   void PlaceUserGreedy(UserId user,
@@ -137,6 +147,8 @@ class OnlineScheduler {
 
   OnlinePolicy policy_;
   std::vector<ResourceVector> free_;
+  std::vector<ResourceVector> capacity_;  // pristine copy, for RestoreMachine
+  std::vector<bool> down_;                // crashed machines (chaos hooks)
   std::vector<User> users_;
   // Per-machine wait lists: users with queued tasks, eligible on the
   // machine. Lazily compacted by ServeMachine as users drain or retire;

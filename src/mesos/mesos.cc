@@ -1,6 +1,8 @@
 #include "mesos/mesos.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cmath>
 #include <limits>
 #include <queue>
 
@@ -12,12 +14,23 @@
 namespace tsf::mesos {
 namespace {
 
+// Test-only bug switch (SetInjectedBugForTesting); relaxed is enough — tests
+// set it before the run and reset it after, never concurrently with one.
+std::atomic<InjectedBug> g_injected_bug{InjectedBug::kNone};
+
 struct Event {
   double time = 0.0;
   std::uint64_t seq = 0;
-  enum class Kind { kRegister, kTaskFinish, kSample } kind = Kind::kRegister;
+  enum class Kind {
+    kRegister,
+    kTaskFinish,
+    kSample,
+    kFault,  // framework field holds the index into RunOptions::faults
+    kNudge,  // re-run allocation (decline-timeout expiry), no state change
+  } kind = Kind::kRegister;
   std::size_t framework = 0;
   std::size_t slave = 0;
+  std::uint64_t task = 0;  // kTaskFinish: master-global launch id
 
   bool operator>(const Event& other) const {
     if (time != other.time) return time > other.time;
@@ -37,6 +50,11 @@ struct FrameworkState {
   double coeff = 0.0;
   double key = 0.0;
   std::vector<bool> allowed;  // per slave
+  // Fault state: offers the master will drop/rescind (one per allocation
+  // cycle), and the end of the current decline-everything window.
+  long pending_drops = 0;
+  long pending_rescinds = 0;
+  double blackout_until = -std::numeric_limits<double>::infinity();
   FrameworkStats stats;
 #if defined(TSF_TELEMETRY)
   // Per-framework offer outcome counters (mesos.offers.<name>.accepted /
@@ -53,6 +71,10 @@ struct FrameworkState {
 };
 
 }  // namespace
+
+void SetInjectedBugForTesting(InjectedBug bug) {
+  g_injected_bug.store(bug, std::memory_order_relaxed);
+}
 
 std::vector<SlaveSpec> PaperFleet() {
   std::vector<SlaveSpec> slaves;
@@ -96,6 +118,12 @@ std::vector<FrameworkSpec> TableTwoJobs() {
 
 SimOutcome RunCluster(const ClusterConfig& config,
                       const std::vector<FrameworkSpec>& framework_specs) {
+  return RunCluster(config, framework_specs, RunOptions{});
+}
+
+SimOutcome RunCluster(const ClusterConfig& config,
+                      const std::vector<FrameworkSpec>& framework_specs,
+                      const RunOptions& options) {
   TSF_CHECK(!config.slaves.empty());
   TSF_CHECK(!framework_specs.empty());
   const std::size_t num_slaves = config.slaves.size();
@@ -112,6 +140,34 @@ SimOutcome RunCluster(const ClusterConfig& config,
   free.reserve(num_slaves);
   for (const SlaveSpec& slave : config.slaves) free.push_back(slave.capacity);
 
+  // Chaos hooks: faults enter the master's event queue like any other
+  // event; the optional stream recorder sees every state transition.
+  const std::vector<Fault>& faults = options.faults;
+  for (std::size_t i = 1; i < faults.size(); ++i)
+    TSF_CHECK_LE(faults[i - 1].time, faults[i].time)
+        << "faults must be sorted by time";
+  std::vector<bool> up(num_slaves, true);
+  // Running tasks per slave as (launch id, framework), so a crash can kill
+  // them; `cancelled` marks launch ids whose queued finish event must be
+  // skipped when it pops (lazy cancellation).
+  struct RunningTask {
+    std::uint64_t task = 0;
+    std::size_t framework = 0;
+  };
+  std::vector<std::vector<RunningTask>> on_slave(num_slaves);
+  std::vector<char> cancelled;  // indexed by launch id
+  std::uint64_t next_task_id = 0;
+  const InjectedBug injected_bug =
+      g_injected_bug.load(std::memory_order_relaxed);
+  auto emit = [&](MasterEvent::Kind kind, double time, std::size_t framework,
+                  std::uint64_t task, std::size_t slave) {
+    if (options.stream == nullptr) return;
+    options.stream->push_back(
+        MasterEvent{time, kind, static_cast<std::uint32_t>(framework),
+                    static_cast<std::uint32_t>(task),
+                    static_cast<std::uint32_t>(slave)});
+  };
+
   Rng rng(config.seed);
   std::vector<FrameworkState> frameworks(num_frameworks);
   for (std::size_t f = 0; f < num_frameworks; ++f) {
@@ -119,6 +175,10 @@ SimOutcome RunCluster(const ClusterConfig& config,
     fw.spec = framework_specs[f];
     TSF_CHECK_GT(fw.spec.num_tasks, 0);
     TSF_CHECK_EQ(fw.spec.demand.dimension(), resources);
+    // An all-zero demand would "fit" a slave whose free capacity is exactly
+    // zero and launch tasks onto fully-packed (or crashed) nodes.
+    TSF_CHECK_GT(fw.spec.demand.MaxComponent(), 0.0)
+        << fw.spec.name << ": all-zero task demand";
     fw.allowed.assign(num_slaves, fw.spec.whitelist.empty());
     for (const std::size_t s : fw.spec.whitelist) {
       TSF_CHECK_LT(s, num_slaves);
@@ -171,9 +231,15 @@ SimOutcome RunCluster(const ClusterConfig& config,
   for (std::size_t f = 0; f < num_frameworks; ++f)
     events.push(Event{frameworks[f].spec.start_time, seq++,
                       Event::Kind::kRegister, f, 0});
+  // Faults are pushed up front, so within a same-instant batch they apply
+  // before that instant's task finishes (a finish racing a crash loses: the
+  // task is killed and requeued, not completed).
+  for (std::size_t i = 0; i < faults.size(); ++i)
+    events.push(Event{faults[i].time, seq++, Event::Kind::kFault, i, 0});
 
   SimOutcome outcome;
   outcome.frameworks.resize(num_frameworks);
+  AllocatorStats& stats = outcome.stats;
 
   auto sample_timeline = [&](double now) {
     TSF_TRACE_SCOPE("mesos", "sample_timeline");
@@ -205,6 +271,7 @@ SimOutcome RunCluster(const ClusterConfig& config,
   auto run_allocation = [&](double now) {
     TSF_TRACE_SCOPE("mesos", "offer_round");
     TSF_COUNTER_ADD("mesos.offer_rounds", 1);
+    ++stats.rounds;
     {
       TSF_TRACE_SCOPE("mesos", "allocator_sort");
       offer_heap.Clear();
@@ -224,14 +291,48 @@ SimOutcome RunCluster(const ClusterConfig& config,
         offer_heap.Push(fw.key, entry.id);
         continue;
       }
+      // Injected faults intercept the offer before the framework sees it
+      // (drop/rescind) or make the framework sit the cycle out (a
+      // decline-timeout window). One offer per cycle either way.
+      if (fw.pending_rescinds > 0) {
+        --fw.pending_rescinds;
+        ++stats.offers_rescinded;
+        TSF_COUNTER_ADD("chaos.mesos.offers_rescinded", 1);
+        continue;  // out for the rest of this cycle
+      }
+      if (fw.pending_drops > 0) {
+        --fw.pending_drops;
+        ++stats.offers_dropped;
+        TSF_COUNTER_ADD("chaos.mesos.offers_dropped", 1);
+        continue;  // out for the rest of this cycle
+      }
+      if (now < fw.blackout_until) {
+        ++stats.blackout_declines;
+        TSF_COUNTER_ADD("chaos.mesos.blackout_declines", 1);
+        continue;  // out for the rest of this cycle
+      }
       // Least-contended fitting slave for this framework (see `contention`).
+      // Down slaves are never offered, and neither are slaves whose free
+      // capacity is exactly zero — an offer of nothing can only be declined
+      // (and pre-dated the demand-positivity check, could even be accepted).
       std::size_t slave = num_slaves;
       for (std::size_t s = 0; s < num_slaves; ++s) {
-        if (!fw.allowed[s] || !free[s].Fits(fw.spec.demand)) continue;
+        if (!fw.allowed[s]) continue;
+        ++stats.probes;
+        if (!up[s]) {
+          ++stats.down_slave_skips;
+          continue;
+        }
+        if (free[s].IsZero()) {
+          ++stats.zero_slave_skips;
+          continue;
+        }
+        if (!free[s].Fits(fw.spec.demand)) continue;
         if (slave == num_slaves || contention[s] < contention[slave]) slave = s;
       }
       if (slave == num_slaves) {
         // The framework implicitly declines: nothing it may use fits.
+        ++stats.offers_declined;
         TSF_COUNTER_ADD("mesos.offers.declined", 1);
 #if defined(TSF_TELEMETRY)
         if (telemetry::Enabled()) fw.declined_counter->Add(1);
@@ -247,6 +348,7 @@ SimOutcome RunCluster(const ClusterConfig& config,
       ++fw.launched;
       ++fw.running;
       fw.UpdateKey();
+      ++stats.offers_accepted;
       TSF_COUNTER_ADD("mesos.offers.accepted", 1);
 #if defined(TSF_TELEMETRY)
       if (telemetry::Enabled()) fw.accepted_counter->Add(1);
@@ -255,8 +357,12 @@ SimOutcome RunCluster(const ClusterConfig& config,
       const double runtime = fw.spec.mean_runtime *
                              rng.Uniform(1.0 - fw.spec.runtime_jitter,
                                          1.0 + fw.spec.runtime_jitter);
+      const std::uint64_t task_id = next_task_id++;
+      cancelled.push_back(0);
+      on_slave[slave].push_back(RunningTask{task_id, entry.id});
+      emit(MasterEvent::Kind::kLaunch, now, entry.id, task_id, slave);
       events.push(Event{now + runtime, seq++, Event::Kind::kTaskFinish,
-                        entry.id, slave});
+                        entry.id, slave, task_id});
       if (fw.HasPending()) offer_heap.Push(fw.key, entry.id);
     }
   };
@@ -279,21 +385,154 @@ SimOutcome RunCluster(const ClusterConfig& config,
       switch (event.kind) {
         case Event::Kind::kRegister:
           frameworks[event.framework].registered = true;
+          emit(MasterEvent::Kind::kRegister, now, event.framework, 0, 0);
           state_changed = true;
           TSF_TRACE_INSTANT("mesos", "register");
           break;
         case Event::Kind::kTaskFinish: {
+          // Lazy cancellation: a crash or failure already killed this
+          // launch; its finish event is void.
+          if (cancelled[event.task]) {
+            TSF_COUNTER_ADD("chaos.mesos.stale_finish_events", 1);
+            break;
+          }
           FrameworkState& fw = frameworks[event.framework];
+          std::vector<RunningTask>& on = on_slave[event.slave];
+          const auto it = std::find_if(
+              on.begin(), on.end(),
+              [&](const RunningTask& rt) { return rt.task == event.task; });
+          if (it != on.end()) {  // absent only for an injected leaked task
+            *it = on.back();
+            on.pop_back();
+          }
           free[event.slave] += fw.spec.demand;
           --fw.running;
           fw.UpdateKey();
           ++fw.finished;
           ++fw.stats.tasks_run;
+          emit(MasterEvent::Kind::kFinish, now, event.framework, event.task,
+               event.slave);
           outcome.makespan = std::max(outcome.makespan, now);
           if (fw.finished == fw.spec.num_tasks) fw.stats.completion_time = now;
           state_changed = true;
           break;
         }
+        case Event::Kind::kFault: {
+          const Fault& fault = faults[event.framework];
+          switch (fault.kind) {
+            case Fault::Kind::kSlaveCrash: {
+              const std::size_t s = fault.target;
+              TSF_CHECK_LT(s, num_slaves);
+              TSF_CHECK(up[s]) << "crash of already-down slave " << s;
+              std::vector<RunningTask>& on = on_slave[s];
+              // The injected leak bug "forgets" the slave's first task: it
+              // is neither killed nor requeued, so its finish later fires
+              // on a slave the stream shows as down — the planted defect
+              // the chaos invariants must catch.
+              const std::size_t keep =
+                  injected_bug == InjectedBug::kLeakTaskOnCrash && !on.empty()
+                      ? 1
+                      : 0;
+              // Kill most-recent-first (matches the DES stream order).
+              for (std::size_t r = on.size(); r-- > keep;) {
+                const RunningTask rt = on[r];
+                cancelled[rt.task] = 1;
+                FrameworkState& vfw = frameworks[rt.framework];
+                --vfw.running;
+                --vfw.launched;  // re-enters the pending pool
+                vfw.UpdateKey();
+                emit(MasterEvent::Kind::kKill, now, rt.framework, rt.task, s);
+              }
+              on.clear();
+              up[s] = false;
+              free[s] = ResourceVector(resources);
+              emit(MasterEvent::Kind::kCrash, now, 0, 0, s);
+              TSF_COUNTER_ADD("chaos.mesos.slave_crashes", 1);
+              state_changed = true;
+              break;
+            }
+            case Fault::Kind::kSlaveRestart: {
+              const std::size_t s = fault.target;
+              TSF_CHECK_LT(s, num_slaves);
+              TSF_CHECK(!up[s]) << "restart of up slave " << s;
+              up[s] = true;
+              free[s] = config.slaves[s].capacity;
+              emit(MasterEvent::Kind::kRestart, now, 0, 0, s);
+              TSF_COUNTER_ADD("chaos.mesos.slave_restarts", 1);
+              state_changed = true;
+              break;
+            }
+            case Fault::Kind::kTaskFailure: {
+              // Fails the most recently launched task on the slave; a
+              // no-op on a down or idle slave (the plan generator does not
+              // coordinate failure targets with the schedule).
+              const std::size_t s = fault.target;
+              TSF_CHECK_LT(s, num_slaves);
+              if (!up[s] || on_slave[s].empty()) {
+                TSF_COUNTER_ADD("chaos.mesos.task_failures_skipped", 1);
+                break;
+              }
+              const RunningTask rt = on_slave[s].back();
+              on_slave[s].pop_back();
+              cancelled[rt.task] = 1;
+              FrameworkState& vfw = frameworks[rt.framework];
+              --vfw.running;
+              --vfw.launched;  // re-enters the pending pool
+              vfw.UpdateKey();
+              free[s] += vfw.spec.demand;
+              emit(MasterEvent::Kind::kFail, now, rt.framework, rt.task, s);
+              TSF_COUNTER_ADD("chaos.mesos.task_failures", 1);
+              state_changed = true;
+              break;
+            }
+            case Fault::Kind::kOfferDrop: {
+              TSF_CHECK_LT(fault.target, num_frameworks);
+              frameworks[fault.target].pending_drops +=
+                  std::max<long>(1, std::lround(fault.param));
+              break;
+            }
+            case Fault::Kind::kOfferRescind: {
+              TSF_CHECK_LT(fault.target, num_frameworks);
+              ++frameworks[fault.target].pending_rescinds;
+              break;
+            }
+            case Fault::Kind::kDeclineTimeout: {
+              TSF_CHECK_LT(fault.target, num_frameworks);
+              TSF_CHECK_GT(fault.param, 0.0);
+              FrameworkState& fw = frameworks[fault.target];
+              fw.blackout_until = std::max(fw.blackout_until, now + fault.param);
+              // Without this the framework could starve on an idle
+              // cluster: nothing else would ever re-run the allocator.
+              events.push(Event{fw.blackout_until, seq++, Event::Kind::kNudge,
+                                fault.target, 0});
+              break;
+            }
+            case Fault::Kind::kFrameworkDisconnect: {
+              TSF_CHECK_LT(fault.target, num_frameworks);
+              FrameworkState& fw = frameworks[fault.target];
+              TSF_CHECK(fw.registered)
+                  << "disconnect of unregistered framework " << fault.target;
+              fw.registered = false;  // no offers; running tasks continue
+              emit(MasterEvent::Kind::kDisconnect, now, fault.target, 0, 0);
+              TSF_COUNTER_ADD("chaos.mesos.disconnects", 1);
+              break;
+            }
+            case Fault::Kind::kFrameworkReregister: {
+              TSF_CHECK_LT(fault.target, num_frameworks);
+              FrameworkState& fw = frameworks[fault.target];
+              TSF_CHECK(!fw.registered)
+                  << "re-register of registered framework " << fault.target;
+              fw.registered = true;
+              emit(MasterEvent::Kind::kReregister, now, fault.target, 0, 0);
+              state_changed = true;
+              break;
+            }
+          }
+          break;
+        }
+        case Event::Kind::kNudge:
+          state_changed = true;  // decline-timeout expired: re-offer
+          break;
         case Event::Kind::kSample:
           sampled = true;
           break;

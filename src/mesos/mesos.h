@@ -76,15 +76,107 @@ struct FrameworkStats {
   double CompletionDuration() const { return completion_time - start_time; }
 };
 
+// Plain counters of the master's offer machinery, filled on every run (no
+// telemetry build flag needed — regression tests assert on these).
+struct AllocatorStats {
+  long rounds = 0;            // allocation cycles run
+  long probes = 0;            // slave fit probes across all cycles
+  long zero_slave_skips = 0;  // probes short-circuited: free capacity is
+                              // exactly zero (pre-fix these emitted empty
+                              // offers the framework could only decline)
+  long down_slave_skips = 0;  // probes short-circuited: slave is down
+  long offers_accepted = 0;
+  long offers_declined = 0;   // nothing the framework may use fits
+  long offers_dropped = 0;    // master dropped the offer (injected fault)
+  long offers_rescinded = 0;  // master rescinded the offer (injected fault)
+  long blackout_declines = 0; // framework inside a decline-timeout window
+};
+
 struct SimOutcome {
   std::vector<SharePoint> timeline;
   std::vector<FrameworkStats> frameworks;
   double makespan = 0.0;
+  AllocatorStats stats;
 };
 
+// --- chaos hooks (src/chaos fault injection) --------------------------------
+
+// One fault, applied at a virtual-clock instant. The Mesos substrate adds
+// offer- and framework-level faults on top of the machine faults shared
+// with the DES (sim/des.h).
+struct Fault {
+  enum class Kind {
+    kSlaveCrash,           // target = slave; running tasks are killed and
+                           // re-enter the pending pool (relaunched elsewhere)
+    kSlaveRestart,         // target = slave; comes back empty
+    kTaskFailure,          // target = slave; most recently launched task on
+                           // it fails and re-enters the pending pool (no-op
+                           // on a down or idle slave)
+    kOfferDrop,            // target = framework; master drops its next
+                           // max(1, param) offers, one per allocation cycle
+    kOfferRescind,         // target = framework; next offer is rescinded
+    kDeclineTimeout,       // target = framework; declines everything until
+                           // time + param (a stuck scheduler driver)
+    kFrameworkDisconnect,  // target = framework; receives no offers, its
+                           // running tasks keep running
+    kFrameworkReregister,  // target = framework; offers resume
+  };
+  double time = 0.0;
+  Kind kind = Kind::kSlaveCrash;
+  std::size_t target = 0;  // slave or framework index, per kind
+  double param = 0.0;      // kOfferDrop: offer count; kDeclineTimeout: window
+};
+
+// One record per master state transition, emitted in order when
+// RunOptions::stream is set. `task` is a master-global launch id (unique per
+// launch; a relaunched task gets a fresh id — the Mesos substrate does not
+// preserve task identity across retries, unlike the DES).
+struct MasterEvent {
+  enum class Kind {
+    kRegister,    // framework registered (task/slave zero)
+    kDisconnect,  // framework disconnected (injected fault)
+    kReregister,  // framework re-registered
+    kLaunch,      // task launched on slave
+    kFinish,      // task completed on slave
+    kKill,        // task killed by a slave crash, requeued
+    kFail,        // task failed (slave stays up), requeued
+    kCrash,       // slave went down
+    kRestart,     // slave came back
+  };
+  double time = 0.0;
+  Kind kind = Kind::kRegister;
+  std::uint32_t framework = 0;
+  std::uint32_t task = 0;  // master-global launch id
+  std::uint32_t slave = 0;
+};
+
+struct RunOptions {
+  // Fault events to inject, sorted by time (checked). Plans must be
+  // well-formed — crash/restart and disconnect/reregister strictly
+  // alternating per target with every outage eventually lifted
+  // (chaos::ValidateFaultPlan enforces this) — otherwise the run can end
+  // with unfinished frameworks, which is fatal.
+  std::vector<Fault> faults;
+  // When set, every master state transition is appended here (input of the
+  // chaos invariant checkers).
+  std::vector<MasterEvent>* stream = nullptr;
+};
+
+// Deliberately injectable bugs, for testing that the chaos harness catches
+// them (tools/fuzz_scenarios --inject_bug). Never set outside tests.
+enum class InjectedBug {
+  kNone = 0,
+  kLeakTaskOnCrash,  // a slave crash "forgets" to kill its first running
+                     // task: the leaked task later finishes on a down slave
+};
+void SetInjectedBugForTesting(InjectedBug bug);
+
 // Runs the offer-based cluster to completion. Frameworks register at their
-// start times; the allocator re-runs after every registration and task
-// completion.
+// start times; the allocator re-runs after every registration, task
+// completion, and fault.
+SimOutcome RunCluster(const ClusterConfig& config,
+                      const std::vector<FrameworkSpec>& frameworks,
+                      const RunOptions& options);
 SimOutcome RunCluster(const ClusterConfig& config,
                       const std::vector<FrameworkSpec>& frameworks);
 

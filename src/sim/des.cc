@@ -1,6 +1,7 @@
 #include "sim/des.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "core/online/reference_scheduler.h"
 #include "core/online/scheduler.h"
@@ -32,18 +33,22 @@ std::vector<double> SimResult::TaskQueueingDelays() const {
 
 namespace {
 
-// Task-finish event, 24 bytes. Arrivals never enter the queue (the job
+// Task-finish event, 32 bytes. Arrivals never enter the queue (the job
 // list is already sorted by arrival time and is merged in as a second
-// stream), and finishes sharing a timestamp are applied as one batch whose
-// internal order is immaterial — capacity frees commute and the freed
-// machine set is sorted before serving — so no sequence tie-break or event
-// kind is needed. The narrow fields bound the workload at 2^32
-// jobs/machines/tasks, checked at simulation entry.
+// stream, as are injected faults), and finishes sharing a timestamp are
+// applied as one batch whose internal order is immaterial — capacity frees
+// commute and the freed machine set is sorted before serving — so no
+// sequence tie-break or event kind is needed. The narrow fields bound the
+// workload at 2^32 jobs/machines/tasks, checked at simulation entry.
+// `attempt` is the task slot's placement generation: a crash or failure
+// bumps the slot's generation, voiding the queued finish event (lazy
+// cancellation — the event pops and is skipped).
 struct Event {
   double time = 0.0;
   std::uint32_t job = 0;
   std::uint32_t machine = 0;
   std::uint32_t task_slot = 0;  // index into result.tasks
+  std::uint32_t attempt = 0;
 };
 
 // 4-ary min-heap on time. Heap churn dominates the event loop (one push
@@ -159,6 +164,34 @@ SimResult SimulateWith(const Workload& workload, const OnlinePolicy& policy,
   }
   result.tasks.resize(total_tasks);
 
+  // Chaos hooks: faults merge into the batch loop as a third time-sorted
+  // stream; the optional stream recorder sees every state transition.
+  const std::vector<SimFault>& faults = options.faults;
+  for (std::size_t f = 1; f < faults.size(); ++f)
+    TSF_CHECK_LE(faults[f - 1].time, faults[f].time)
+        << "faults must be sorted by time";
+  const bool chaos = !faults.empty();
+  // Fault bookkeeping, sized only when faults are present: which machines
+  // are up, which task slots run on each machine (so a crash can kill
+  // them), the per-slot attempt generation (lazy finish-event
+  // cancellation), and per-job requeued slots awaiting re-placement (so a
+  // retried task keeps its identity and its pre-sampled runtime).
+  std::vector<bool> machine_up(cluster.num_machines(), true);
+  std::vector<std::vector<std::uint32_t>> running_on(
+      chaos ? cluster.num_machines() : 0);
+  std::vector<std::uint32_t> attempt(chaos ? total_tasks : 0, 0);
+  std::vector<std::vector<std::uint32_t>> requeued(
+      chaos ? workload.jobs.size() : 0);
+  auto emit = [&](SimStreamEvent::Kind kind, double time, std::size_t job,
+                  std::size_t task, std::size_t machine,
+                  std::uint32_t generation) {
+    if (options.stream == nullptr) return;
+    options.stream->push_back(
+        SimStreamEvent{time, kind, static_cast<std::uint32_t>(job),
+                       static_cast<std::uint32_t>(task),
+                       static_cast<std::uint32_t>(machine), generation});
+  };
+
   std::vector<ResourceVector> capacity;
   capacity.reserve(cluster.num_machines());
   for (MachineId m = 0; m < cluster.num_machines(); ++m)
@@ -214,22 +247,34 @@ SimResult SimulateWith(const Workload& workload, const OnlinePolicy& policy,
   auto record_placement = [&](std::size_t j, MachineId m) {
     JobState& js = state[j];
     const SimJob& job = workload.jobs[j];
-    TSF_CHECK_LT(static_cast<std::size_t>(js.next_task),
-                 job.task_runtimes.size());
-    const long index = js.next_task++;
-    const std::size_t slot =
-        job_task_offset[j] + static_cast<std::size_t>(index);
+    // Requeued slots (crash/failure retries) are re-placed before fresh
+    // ones so a retried task keeps its identity and pre-sampled runtime.
+    std::size_t slot;
+    if (chaos && !requeued[j].empty()) {
+      slot = requeued[j].back();
+      requeued[j].pop_back();
+    } else {
+      TSF_CHECK_LT(static_cast<std::size_t>(js.next_task),
+                   job.task_runtimes.size());
+      slot = job_task_offset[j] + static_cast<std::size_t>(js.next_task++);
+    }
+    const long index = static_cast<long>(slot - job_task_offset[j]);
     TaskRecord& task = result.tasks[slot];
     task.job = j;
     task.index = index;
     task.submit = job.spec.arrival_time;
     task.schedule = now;
     task.finish = now + job.task_runtimes[static_cast<std::size_t>(index)];
+    task.machine = m;
+    ++task.attempts;
     ++tasks_placed;
     result.jobs[j].first_schedule = std::min(result.jobs[j].first_schedule, now);
+    const std::uint32_t generation = chaos ? attempt[slot] : 0;
+    if (chaos) running_on[m].push_back(static_cast<std::uint32_t>(slot));
+    emit(SimStreamEvent::Kind::kPlace, now, j, slot, m, generation);
     events.Push(Event{task.finish, static_cast<std::uint32_t>(j),
                       static_cast<std::uint32_t>(m),
-                      static_cast<std::uint32_t>(slot)});
+                      static_cast<std::uint32_t>(slot), generation});
   };
 
   // Scheduler user id → job index (users are added in arrival order).
@@ -274,11 +319,15 @@ SimResult SimulateWith(const Workload& workload, const OnlinePolicy& policy,
   std::vector<MachineId> freed_machines;
   std::vector<UserId> arrived_users;
   std::size_t next_arrival = 0;
-  while (next_arrival < workload.jobs.size() || !events.Empty()) {
-    now = next_arrival < workload.jobs.size()
-              ? workload.jobs[next_arrival].spec.arrival_time
-              : events.Top().time;
+  std::size_t next_fault = 0;
+  while (next_arrival < workload.jobs.size() || !events.Empty() ||
+         next_fault < faults.size()) {
+    now = std::numeric_limits<double>::infinity();
+    if (next_arrival < workload.jobs.size())
+      now = workload.jobs[next_arrival].spec.arrival_time;
     if (!events.Empty()) now = std::min(now, events.Top().time);
+    if (next_fault < faults.size())
+      now = std::min(now, faults[next_fault].time);
     if (sample_interval > 0.0)
       while (next_sample <= now) {
         take_sample(next_sample);
@@ -325,6 +374,7 @@ SimResult SimulateWith(const Workload& workload, const OnlinePolicy& policy,
       user_to_job.push_back(j);
       TSF_CHECK_EQ(user_to_job.size(), js.user + 1);
       arrived_users.push_back(js.user);
+      emit(SimStreamEvent::Kind::kArrive, now, j, 0, 0, 0);
       TSF_COUNTER_ADD("des.arrivals", 1);
     }
 
@@ -332,11 +382,26 @@ SimResult SimulateWith(const Workload& workload, const OnlinePolicy& policy,
       // Task completion: free resources now, schedule after the batch.
       const Event event = events.Top();
       events.Pop();
+      // Lazy cancellation: a crash or failure bumped the slot's generation,
+      // so this finish belongs to a placement that no longer exists.
+      if (chaos && event.attempt != attempt[event.task_slot]) {
+        TSF_COUNTER_ADD("chaos.des.stale_finish_events", 1);
+        continue;
+      }
       const std::size_t j = event.job;
       JobState& js = state[j];
       scheduler.OnTaskFinish(js.user, event.machine);
       ++js.finished;
       result.makespan = std::max(result.makespan, now);
+      if (chaos) {
+        std::vector<std::uint32_t>& on = running_on[event.machine];
+        const auto it = std::find(on.begin(), on.end(), event.task_slot);
+        TSF_CHECK(it != on.end());
+        *it = on.back();
+        on.pop_back();
+      }
+      emit(SimStreamEvent::Kind::kFinish, now, j, event.task_slot,
+           event.machine, event.attempt);
       if (js.finished == workload.jobs[j].spec.num_tasks) {
         result.jobs[j].completion = now;
         scheduler.Retire(js.user);
@@ -345,24 +410,99 @@ SimResult SimulateWith(const Workload& workload, const OnlinePolicy& policy,
       TSF_COUNTER_ADD("des.task_finishes", 1);
     }
 
+    // Fault batch: applied after finishes (a task completing at the crash
+    // instant counts as finished, matching "crash strikes the open
+    // interval") and before any scheduling at this instant.
+    bool requeued_any = false;
+    while (next_fault < faults.size() && faults[next_fault].time == now) {
+      const SimFault& fault = faults[next_fault++];
+      const MachineId m = fault.machine;
+      TSF_CHECK_LT(m, cluster.num_machines());
+      // Kills the slot's current placement and returns it to the pending
+      // pool; the finish event already queued for it dies by generation.
+      auto requeue_task = [&](std::uint32_t slot) {
+        ++attempt[slot];
+        const std::size_t j = result.tasks[slot].job;
+        scheduler.OnTaskFinish(state[j].user, m);
+        scheduler.AddPending(state[j].user, 1);
+        requeued[j].push_back(slot);
+        requeued_any = true;
+      };
+      switch (fault.kind) {
+        case SimFault::Kind::kMachineCrash: {
+          TSF_CHECK(machine_up[m]) << "crash of already-down machine " << m;
+          // Kill order is immaterial for state (frees commute) but the
+          // stream records most-recent-first for determinism.
+          std::vector<std::uint32_t>& on = running_on[m];
+          for (std::size_t r = on.size(); r-- > 0;) {
+            emit(SimStreamEvent::Kind::kKill, now, result.tasks[on[r]].job,
+                 on[r], m, attempt[on[r]]);
+            requeue_task(on[r]);
+          }
+          on.clear();
+          scheduler.CrashMachine(m);
+          machine_up[m] = false;
+          emit(SimStreamEvent::Kind::kCrash, now, 0, 0, m, 0);
+          TSF_COUNTER_ADD("chaos.des.machine_crashes", 1);
+          break;
+        }
+        case SimFault::Kind::kMachineRestart: {
+          TSF_CHECK(!machine_up[m]) << "restart of up machine " << m;
+          scheduler.RestoreMachine(m);
+          machine_up[m] = true;
+          emit(SimStreamEvent::Kind::kRestart, now, 0, 0, m, 0);
+          freed_machines.push_back(m);
+          TSF_COUNTER_ADD("chaos.des.machine_restarts", 1);
+          break;
+        }
+        case SimFault::Kind::kTaskFailure: {
+          // Fails the most recently placed task on the machine; a no-op on
+          // a down or idle machine (the plan generator does not coordinate
+          // failure targets with the schedule).
+          if (!machine_up[m] || running_on[m].empty()) {
+            TSF_COUNTER_ADD("chaos.des.task_failures_skipped", 1);
+            break;
+          }
+          const std::uint32_t slot = running_on[m].back();
+          running_on[m].pop_back();
+          emit(SimStreamEvent::Kind::kFail, now, result.tasks[slot].job, slot,
+               m, attempt[slot]);
+          requeue_task(slot);
+          freed_machines.push_back(m);
+          TSF_COUNTER_ADD("chaos.des.task_failures", 1);
+          break;
+        }
+      }
+    }
+
     // Scheduling phase. Freed machines are re-offered to everyone eligible
     // (arrivals included — they are registered by now); remaining idle
     // capacity is then handed to the arrival batch in key order. Other
     // pending users need no consideration: they could not place before
-    // this instant and no other machine gained capacity.
+    // this instant and no other machine gained capacity — unless a fault
+    // requeued tasks, which breaks that work-conservation argument (the
+    // requeued user may fit on machines that were idle all along), so a
+    // requeue re-offers every up machine in index order.
     if (scheduler.HasPendingUsers()) {
-      std::sort(freed_machines.begin(), freed_machines.end());
-      freed_machines.erase(
-          std::unique(freed_machines.begin(), freed_machines.end()),
-          freed_machines.end());
-      for (const MachineId m : freed_machines)
-        scheduler.ServeMachine(m, on_place);
+      if (requeued_any) {
+        for (MachineId m = 0; m < cluster.num_machines(); ++m)
+          if (machine_up[m]) scheduler.ServeMachine(m, on_place);
+      } else {
+        std::sort(freed_machines.begin(), freed_machines.end());
+        freed_machines.erase(
+            std::unique(freed_machines.begin(), freed_machines.end()),
+            freed_machines.end());
+        for (const MachineId m : freed_machines)
+          if (machine_up[m]) scheduler.ServeMachine(m, on_place);
+      }
     }
     if (!arrived_users.empty())
       scheduler.PlaceUsersInterleaved(arrived_users, on_place);
   }
 
-  TSF_CHECK_EQ(tasks_placed, total_tasks);
+  // Retries make placements exceed the task count; the per-job finished
+  // check below still guarantees completion either way.
+  if (!chaos) TSF_CHECK_EQ(tasks_placed, total_tasks);
   for (std::size_t j = 0; j < workload.jobs.size(); ++j)
     TSF_CHECK_EQ(state[j].finished, workload.jobs[j].spec.num_tasks)
         << "job " << j << " did not finish";

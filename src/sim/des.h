@@ -8,6 +8,7 @@
 // Tasks are never preempted.
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <string>
 #include <vector>
@@ -36,6 +37,8 @@ struct TaskRecord {
   double submit = 0.0;   // == job arrival (all tasks submitted with the job)
   double schedule = 0.0;
   double finish = 0.0;
+  std::size_t machine = 0;  // machine of the (last) placement
+  long attempts = 0;        // placements incl. fault-driven retries (>=1)
 
   // Task queueing delay: submission to scheduling (Fig. 11a).
   double QueueingDelay() const { return schedule - submit; }
@@ -55,6 +58,46 @@ struct SimResult {
   std::vector<double> TaskQueueingDelays() const;
 };
 
+// --- chaos hooks (src/chaos fault injection) --------------------------------
+
+// One fault, applied at a virtual-clock instant. Faults are the DES subset of
+// the chaos subsystem's FaultPlan (src/chaos/fault_plan.h compiles plans down
+// to this form); offer- and framework-level faults exist only in the Mesos
+// substrate (mesos/mesos.h).
+struct SimFault {
+  enum class Kind {
+    kMachineCrash,    // machine goes down; its running tasks are killed and
+                      // re-enter the pending pool (same task identity/runtime)
+    kMachineRestart,  // machine comes back, empty
+    kTaskFailure,     // most recently placed task on the machine fails and
+                      // re-enters the pending pool (no-op if none running)
+  };
+  double time = 0.0;
+  Kind kind = Kind::kMachineCrash;
+  MachineId machine = 0;
+};
+
+// One record per simulator state transition, emitted in order when
+// SimOptions::stream is set. `task` is the global task slot (dense over
+// (job, index)); `attempt` counts placements of that slot (0-based).
+struct SimStreamEvent {
+  enum class Kind {
+    kArrive,   // job registered (task/machine/attempt zero)
+    kPlace,    // task placed on machine
+    kFinish,   // task completed on machine
+    kKill,     // task killed by a machine crash, requeued
+    kFail,     // task failed (machine stays up), requeued
+    kCrash,    // machine went down
+    kRestart,  // machine came back
+  };
+  double time = 0.0;
+  Kind kind = Kind::kArrive;
+  std::uint32_t job = 0;
+  std::uint32_t task = 0;  // global task slot
+  std::uint32_t machine = 0;
+  std::uint32_t attempt = 0;
+};
+
 // Optional observability knobs; the default runs exactly as before.
 struct SimOptions {
   // Virtual-time period of the fairness timeline sampler (seconds); 0
@@ -62,6 +105,16 @@ struct SimOptions {
   // up to the makespan, each reflecting the state just before the events at
   // that instant apply.
   double fairness_sample_interval = 0.0;
+
+  // Fault events to inject, sorted by time (checked). Plans must be
+  // well-formed — crash/restart strictly alternating per machine with every
+  // crash eventually restarted (chaos::ValidateFaultPlan enforces this) —
+  // otherwise the run can end with unfinished jobs, which is fatal.
+  std::vector<SimFault> faults;
+
+  // When set, every state transition is appended here (the placement stream
+  // of the golden-determinism tests and the chaos invariant checkers).
+  std::vector<SimStreamEvent>* stream = nullptr;
 };
 
 // Which scheduling core drives the simulation. kIncremental is the

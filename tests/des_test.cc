@@ -196,5 +196,102 @@ TEST(Runner, ReducerSeesEverySeedOnce) {
   for (const int count : seen) EXPECT_EQ(count, 1);
 }
 
+
+// --- fault injection (chaos hooks) ------------------------------------------
+
+long CountKind(const std::vector<SimStreamEvent>& stream,
+               SimStreamEvent::Kind kind) {
+  long count = 0;
+  for (const SimStreamEvent& event : stream) count += event.kind == kind;
+  return count;
+}
+
+TEST(DesFaults, CrashKillsRequeuesAndCompletes) {
+  Workload workload;
+  workload.cluster = SmallCluster(2, 2.0, 2.0);
+  JobSpec spec{.id = 0, .name = "j", .demand = {1.0, 1.0}};
+  spec.num_tasks = 8;  // 4 slots -> two 10 s waves, fault lands mid-wave
+  workload.jobs.push_back(MakeUniformJob(spec, 10.0));
+
+  SimOptions options;
+  options.faults = {{5.0, SimFault::Kind::kMachineCrash, 1},
+                    {12.0, SimFault::Kind::kMachineRestart, 1}};
+  std::vector<SimStreamEvent> stream;
+  options.stream = &stream;
+  const SimResult result =
+      Simulate(workload, OnlinePolicy::Tsf(), SimCore::kIncremental, options);
+
+  // Every task still completes; the two killed on machine 1 at t=5 rerun
+  // from scratch with their pre-sampled runtimes (task identity preserved).
+  ASSERT_EQ(result.tasks.size(), 8u);
+  long retried = 0;
+  for (const TaskRecord& task : result.tasks) {
+    EXPECT_GE(task.attempts, 1);
+    retried += task.attempts > 1 ? 1 : 0;
+  }
+  EXPECT_EQ(retried, 2);
+  EXPECT_EQ(CountKind(stream, SimStreamEvent::Kind::kKill), 2);
+  EXPECT_EQ(CountKind(stream, SimStreamEvent::Kind::kCrash), 1);
+  EXPECT_EQ(CountKind(stream, SimStreamEvent::Kind::kRestart), 1);
+  // 8 first placements + 2 retries.
+  EXPECT_EQ(CountKind(stream, SimStreamEvent::Kind::kPlace), 10);
+  EXPECT_EQ(CountKind(stream, SimStreamEvent::Kind::kFinish), 8);
+  // Lost work stretches the run: 2 slots carry the tail.
+  EXPECT_GT(result.makespan, 20.0);
+}
+
+TEST(DesFaults, TaskFailureRetriesOnTheSpot) {
+  Workload workload;
+  workload.cluster = SmallCluster(1, 2.0, 2.0);
+  JobSpec spec{.id = 0, .name = "j", .demand = {1.0, 1.0}};
+  spec.num_tasks = 2;
+  workload.jobs.push_back(MakeUniformJob(spec, 5.0));
+
+  SimOptions options;
+  options.faults = {{2.0, SimFault::Kind::kTaskFailure, 0}};
+  std::vector<SimStreamEvent> stream;
+  options.stream = &stream;
+  const SimResult result =
+      Simulate(workload, OnlinePolicy::Tsf(), SimCore::kIncremental, options);
+
+  // The victim re-enters the pending pool and is placed again immediately
+  // (the machine stayed up with a free slot): 2 + 5 = 7 s makespan.
+  ASSERT_EQ(result.tasks.size(), 2u);
+  EXPECT_EQ(CountKind(stream, SimStreamEvent::Kind::kFail), 1);
+  EXPECT_EQ(result.tasks[0].attempts + result.tasks[1].attempts, 3);
+  EXPECT_DOUBLE_EQ(result.makespan, 7.0);
+}
+
+TEST(DesFaults, FaultsPreserveDifferentialStreamEquality) {
+  Workload workload;
+  workload.cluster = SmallCluster(2, 3.0, 3.0);
+  JobSpec spec{.id = 0, .name = "a", .demand = {1.0, 1.0}};
+  spec.num_tasks = 9;
+  workload.jobs.push_back(MakeUniformJob(spec, 4.0));
+  JobSpec other{.id = 1, .name = "b", .demand = {1.0, 2.0}};
+  other.num_tasks = 5;
+  workload.jobs.push_back(MakeUniformJob(other, 3.0));
+
+  SimOptions incremental_options;
+  incremental_options.faults = {{2.0, SimFault::Kind::kMachineCrash, 0},
+                                {3.5, SimFault::Kind::kTaskFailure, 1},
+                                {6.0, SimFault::Kind::kMachineRestart, 0}};
+  SimOptions reference_options = incremental_options;
+  std::vector<SimStreamEvent> incremental_stream, reference_stream;
+  incremental_options.stream = &incremental_stream;
+  reference_options.stream = &reference_stream;
+  Simulate(workload, OnlinePolicy::Tsf(), SimCore::kIncremental,
+           incremental_options);
+  Simulate(workload, OnlinePolicy::Tsf(), SimCore::kReference,
+           reference_options);
+
+  ASSERT_EQ(incremental_stream.size(), reference_stream.size());
+  for (std::size_t i = 0; i < incremental_stream.size(); ++i) {
+    EXPECT_EQ(incremental_stream[i].kind, reference_stream[i].kind) << i;
+    EXPECT_EQ(incremental_stream[i].task, reference_stream[i].task) << i;
+    EXPECT_EQ(incremental_stream[i].machine, reference_stream[i].machine) << i;
+  }
+}
+
 }  // namespace
 }  // namespace tsf

@@ -1,0 +1,131 @@
+// Golden determinism tests: the placement streams of fixed (policy, seed)
+// chaos scenarios are pinned by FNV-1a hash in tests/golden/, plus one
+// fully-expanded stream for first-divergence diffing. Any change to
+// scheduler tie-breaking, event ordering, or fault semantics shows up here
+// as an exact diff instead of a silent behavior shift.
+//
+// To bless intentional changes:  TSF_UPDATE_GOLDEN=1 ctest -R GoldenStream
+// (rewrites the files under tests/golden/, then commit the diff).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "chaos/scenario.h"
+
+namespace tsf::chaos {
+namespace {
+
+constexpr std::uint64_t kSeeds[] = {1, 2, 3, 4};
+constexpr const char* kHashFile = TSF_GOLDEN_DIR "/stream_hashes.txt";
+// The fully-expanded stream kept for first-divergence diffs.
+constexpr const char* kStreamFile = TSF_GOLDEN_DIR "/des_TSF_seed1.stream";
+
+bool UpdateMode() { return std::getenv("TSF_UPDATE_GOLDEN") != nullptr; }
+
+std::string HashHex(std::uint64_t hash) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buffer;
+}
+
+// key -> hash, where key is "des <policy> seed=<s>" or "mesos seed=<s>".
+std::map<std::string, std::string> ComputeHashes() {
+  std::map<std::string, std::string> hashes;
+  for (const std::uint64_t seed : kSeeds) {
+    const DesScenario scenario = RandomDesScenario(seed);
+    for (const OnlinePolicy& policy : AllOnlinePolicies()) {
+      const ScenarioReport report =
+          RunDesScenario(scenario.workload, policy, scenario.plan);
+      EXPECT_TRUE(report.ok())
+          << policy.name << " seed " << seed << ": "
+          << ToString(report.violations.front());
+      hashes["des " + policy.name + " seed=" + std::to_string(seed)] =
+          HashHex(report.stream_hash);
+    }
+    const ScenarioReport mesos = RunMesosScenario(RandomMesosScenario(seed));
+    EXPECT_TRUE(mesos.ok())
+        << "mesos seed " << seed << ": " << ToString(mesos.violations.front());
+    hashes["mesos seed=" + std::to_string(seed)] = HashHex(mesos.stream_hash);
+  }
+  return hashes;
+}
+
+TEST(GoldenStreamTest, HashesMatchGolden) {
+  const std::map<std::string, std::string> hashes = ComputeHashes();
+
+  if (UpdateMode()) {
+    std::ofstream out(kHashFile);
+    ASSERT_TRUE(out.good()) << "cannot write " << kHashFile;
+    out << "# (policy, seed) -> FNV-1a stream hash; regenerate with\n"
+        << "# TSF_UPDATE_GOLDEN=1 ctest -R GoldenStream\n";
+    for (const auto& [key, hash] : hashes) out << key << " " << hash << "\n";
+    GTEST_SKIP() << "golden hashes rewritten (" << hashes.size()
+                 << " entries)";
+  }
+
+  std::ifstream in(kHashFile);
+  ASSERT_TRUE(in.good()) << "missing " << kHashFile
+                         << "; run once with TSF_UPDATE_GOLDEN=1";
+  std::map<std::string, std::string> golden;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line.front() == '#') continue;
+    const std::size_t split = line.rfind(' ');
+    ASSERT_NE(split, std::string::npos) << "malformed golden line: " << line;
+    golden[line.substr(0, split)] = line.substr(split + 1);
+  }
+
+  EXPECT_EQ(golden.size(), hashes.size());
+  for (const auto& [key, hash] : hashes) {
+    const auto it = golden.find(key);
+    if (it == golden.end()) {
+      ADD_FAILURE() << "no golden entry for '" << key << "'";
+      continue;
+    }
+    EXPECT_EQ(it->second, hash)
+        << "stream hash changed for '" << key
+        << "' — a deliberate behavior change needs TSF_UPDATE_GOLDEN=1";
+  }
+}
+
+TEST(GoldenStreamTest, FullStreamMatchesWithFirstDivergenceDiff) {
+  const DesScenario scenario = RandomDesScenario(1);
+  const ScenarioReport report =
+      RunDesScenario(scenario.workload, OnlinePolicy::Tsf(), scenario.plan);
+  std::vector<std::string> lines;
+  for (const StreamEvent& event : report.stream)
+    lines.push_back(FormatStreamEvent(event));
+
+  if (UpdateMode()) {
+    std::ofstream out(kStreamFile);
+    ASSERT_TRUE(out.good()) << "cannot write " << kStreamFile;
+    for (const std::string& line : lines) out << line << "\n";
+    GTEST_SKIP() << "golden stream rewritten (" << lines.size() << " events)";
+  }
+
+  std::ifstream in(kStreamFile);
+  ASSERT_TRUE(in.good()) << "missing " << kStreamFile
+                         << "; run once with TSF_UPDATE_GOLDEN=1";
+  std::vector<std::string> golden;
+  std::string line;
+  while (std::getline(in, line)) golden.push_back(line);
+
+  const std::size_t n = std::min(golden.size(), lines.size());
+  for (std::size_t i = 0; i < n; ++i)
+    ASSERT_EQ(lines[i], golden[i])
+        << "first divergence at event #" << i << " of " << lines.size();
+  EXPECT_EQ(lines.size(), golden.size())
+      << "streams agree on the first " << n << " events but lengths differ";
+}
+
+}  // namespace
+}  // namespace tsf::chaos

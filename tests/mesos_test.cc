@@ -183,5 +183,97 @@ TEST(RunClusterDeathTest, RejectsImpossibleFramework) {
   EXPECT_DEATH(RunCluster(config, {fw}), "no slave fits");
 }
 
+
+// --- offer-path regression + fault injection --------------------------------
+
+TEST(RunCluster, ExactlyFullSlavesAreSkippedNotOffered) {
+  // Regression: a slave whose free capacity hits exactly zero mid-round
+  // used to reach the fit probe and produce empty offers the framework
+  // could only decline; the allocator now short-circuits it.
+  ClusterConfig config;
+  config.slaves = {{ResourceVector{2.0, 512.0}, "n1"},
+                   {ResourceVector{2.0, 512.0}, "n2"}};
+  config.sample_interval = 0.0;
+  // Demand {1 CPU, 256 MB} on {2, 512} slaves: two tasks leave free
+  // capacity at exactly <0, 0>.
+  FrameworkSpec fw{.name = "fill", .start_time = 0.0, .num_tasks = 12,
+                   .demand = ResourceVector{1.0, 256.0}, .mean_runtime = 4.0,
+                   .runtime_jitter = 0.0};
+  const SimOutcome outcome = RunCluster(config, {fw});
+  EXPECT_EQ(outcome.frameworks[0].tasks_run, 12);
+  EXPECT_EQ(outcome.stats.offers_accepted, 12);
+  EXPECT_GT(outcome.stats.zero_slave_skips, 0);
+  EXPECT_EQ(outcome.stats.down_slave_skips, 0);
+}
+
+long CountKind(const std::vector<MasterEvent>& stream,
+               MasterEvent::Kind kind) {
+  long count = 0;
+  for (const MasterEvent& event : stream) count += event.kind == kind;
+  return count;
+}
+
+TEST(RunCluster, SlaveCrashReschedulesKilledTasks) {
+  ClusterConfig config;
+  config.slaves = {{ResourceVector{2.0, 512.0}, "n1"},
+                   {ResourceVector{2.0, 512.0}, "n2"}};
+  config.sample_interval = 0.0;
+  FrameworkSpec fw{.name = "f", .start_time = 0.0, .num_tasks = 8,
+                   .demand = ResourceVector{1.0, 128.0}, .mean_runtime = 4.0,
+                   .runtime_jitter = 0.0};
+  RunOptions options;
+  options.faults = {{2.0, Fault::Kind::kSlaveCrash, 1},
+                    {3.0, Fault::Kind::kSlaveRestart, 1}};
+  std::vector<MasterEvent> stream;
+  options.stream = &stream;
+  const SimOutcome outcome = RunCluster(config, {fw}, options);
+
+  // The two tasks killed on slave 1 relaunch (fresh launch ids) and every
+  // logical task still completes exactly once.
+  EXPECT_EQ(outcome.frameworks[0].tasks_run, 8);
+  EXPECT_EQ(CountKind(stream, MasterEvent::Kind::kKill), 2);
+  EXPECT_EQ(CountKind(stream, MasterEvent::Kind::kCrash), 1);
+  EXPECT_EQ(CountKind(stream, MasterEvent::Kind::kRestart), 1);
+  EXPECT_EQ(CountKind(stream, MasterEvent::Kind::kLaunch), 10);
+  EXPECT_EQ(CountKind(stream, MasterEvent::Kind::kFinish), 8);
+  EXPECT_GT(outcome.stats.down_slave_skips, 0);
+}
+
+TEST(RunCluster, DisconnectPausesOffersUntilReregister) {
+  ClusterConfig config;
+  config.slaves = {{ResourceVector{1.0, 256.0}, "n1"}};
+  config.sample_interval = 0.0;
+  FrameworkSpec fw{.name = "f", .start_time = 0.0, .num_tasks = 4,
+                   .demand = ResourceVector{1.0, 128.0}, .mean_runtime = 2.0,
+                   .runtime_jitter = 0.0};
+  RunOptions options;
+  options.faults = {{1.0, Fault::Kind::kFrameworkDisconnect, 0},
+                    {9.0, Fault::Kind::kFrameworkReregister, 0}};
+  const SimOutcome outcome = RunCluster(config, {fw}, options);
+
+  // Task 1 (launched at t=0) keeps running through the disconnect and
+  // finishes at t=2; the remaining three wait for the t=9 re-register:
+  // 9-11, 11-13, 13-15.
+  EXPECT_EQ(outcome.frameworks[0].tasks_run, 4);
+  EXPECT_NEAR(outcome.frameworks[0].completion_time, 15.0, 1e-9);
+}
+
+TEST(RunCluster, DeclineTimeoutBlacksOutOffers) {
+  ClusterConfig config;
+  config.slaves = {{ResourceVector{1.0, 256.0}, "n1"}};
+  config.sample_interval = 0.0;
+  FrameworkSpec fw{.name = "f", .start_time = 0.0, .num_tasks = 2,
+                   .demand = ResourceVector{1.0, 128.0}, .mean_runtime = 2.0,
+                   .runtime_jitter = 0.0};
+  RunOptions options;
+  // At t=2 the first task finishes; the blackout window [2, 8) makes the
+  // framework decline until the nudge at t=8: second task runs 8-10.
+  options.faults = {{2.0, Fault::Kind::kDeclineTimeout, 0, 6.0}};
+  const SimOutcome outcome = RunCluster(config, {fw}, options);
+  EXPECT_EQ(outcome.frameworks[0].tasks_run, 2);
+  EXPECT_NEAR(outcome.frameworks[0].completion_time, 10.0, 1e-9);
+  EXPECT_GT(outcome.stats.blackout_declines, 0);
+}
+
 }  // namespace
 }  // namespace tsf::mesos

@@ -3,6 +3,7 @@
 // generates a random cluster + job set and checks one theorem family.
 #include <gtest/gtest.h>
 
+#include "core/offline/multiclass.h"
 #include "core/offline/policies.h"
 #include "core/offline/properties.h"
 #include "util/rng.h"
@@ -227,6 +228,118 @@ TEST_P(BaselineRandomized, CdrfAndDrfhAreParetoOptimal) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BaselineRandomized,
                          ::testing::Range<std::uint64_t>(1, 16));
+
+// --- weighted multi-class instances (Sec. VII extension) --------------------
+
+// Random weighted multi-class instance built on the same cluster shapes as
+// RandomProblem: every user gets 1-3 task classes with random demands and a
+// random strictly-positive mix.
+MultiClassProblem RandomMultiClassProblem(std::uint64_t seed) {
+  Rng rng(seed * 2654435761 + 17);
+  const SharingProblem base = RandomProblem(seed, /*random_weights=*/true);
+  MultiClassProblem problem;
+  problem.cluster = base.cluster;
+  const std::size_t resources = base.cluster.num_resources();
+  for (const JobSpec& job : base.jobs) {
+    MultiClassJobSpec user;
+    user.name = job.name;
+    user.weight = job.weight;
+    user.constraint = job.constraint;
+    const auto classes = static_cast<std::size_t>(rng.Int(1, 3));
+    double mix_total = 0.0;
+    std::vector<double> mix(classes);
+    for (std::size_t c = 0; c < classes; ++c) {
+      ResourceVector demand(resources);
+      for (std::size_t r = 0; r < resources; ++r)
+        demand[r] = rng.Uniform(0.2, 4.0);
+      user.class_demand.push_back(std::move(demand));
+      mix_total += (mix[c] = rng.Uniform(0.2, 1.0));
+    }
+    for (double& m : mix) m /= mix_total;
+    user.class_mix = std::move(mix);
+    problem.users.push_back(std::move(user));
+  }
+  return problem;
+}
+
+class MultiClassRandomized : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MultiClassRandomized, AllocationIsFeasibleAndMixEnforced) {
+  const CompiledMultiClass problem =
+      CompileMultiClass(RandomMultiClassProblem(GetParam()));
+  const MultiClassResult result = SolveMultiClassTsf(problem);
+  // Feasibility: per-machine usage within (normalized) capacity, tasks only
+  // on eligible machines, all task counts non-negative.
+  for (MachineId m = 0; m < problem.num_machines; ++m) {
+    ResourceVector used(problem.num_resources);
+    for (UserId i = 0; i < problem.num_users; ++i)
+      for (std::size_t c = 0; c < problem.demand[i].size(); ++c) {
+        const double tasks = result.allocation.tasks[i][c][m];
+        EXPECT_GE(tasks, -1e-6);
+        if (tasks > 1e-9) {
+          EXPECT_TRUE(problem.eligible[i].Test(m))
+              << "user " << i << " placed on ineligible machine " << m;
+        }
+        used += tasks * problem.demand[i][c];
+      }
+    EXPECT_TRUE(problem.machine_capacity[m].Fits(used, 1e-4))
+        << "machine " << m << " oversubscribed: " << used.ToString();
+  }
+  // Mix invariant and the share definition s_i = n_i / (H_i w_i).
+  for (UserId i = 0; i < problem.num_users; ++i) {
+    const double total = result.allocation.UserTasks(i);
+    for (std::size_t c = 0; c < problem.mix[i].size(); ++c)
+      EXPECT_NEAR(result.allocation.ClassTasks(i, c),
+                  problem.mix[i][c] * total, 1e-4);
+    EXPECT_NEAR(result.shares[i], total / (problem.H[i] * problem.weight[i]),
+                1e-6);
+  }
+}
+
+TEST_P(MultiClassRandomized, SingleClassInstancesMatchStandardTsf) {
+  // A weighted multi-class instance with one class per user is the plain
+  // weighted TSF problem; both solvers must agree on every share.
+  const SharingProblem base = RandomProblem(GetParam(), /*random_weights=*/true);
+  MultiClassProblem wrapped;
+  wrapped.cluster = base.cluster;
+  for (const JobSpec& job : base.jobs) {
+    MultiClassJobSpec user;
+    user.name = job.name;
+    user.weight = job.weight;
+    user.constraint = job.constraint;
+    user.class_demand = {job.demand};
+    user.class_mix = {1.0};
+    wrapped.users.push_back(std::move(user));
+  }
+  const MultiClassResult multi =
+      SolveMultiClassTsf(CompileMultiClass(wrapped));
+  const FillingResult single = SolveTsf(Compile(base));
+  ASSERT_EQ(multi.shares.size(), single.shares.size());
+  for (std::size_t i = 0; i < multi.shares.size(); ++i)
+    EXPECT_NEAR(multi.shares[i], single.shares[i], 1e-4) << "user " << i;
+}
+
+TEST_P(MultiClassRandomized, HigherWeightCloneRunsNoFewerTasks) {
+  // Two identical users (same classes, mix, constraint) with weights
+  // w_hi >= w_lo: weighted max-min fairness over n_i / (H_i w_i) must give
+  // the heavier clone at least as many tasks.
+  Rng rng(GetParam() * 6364136223846793005ull + 3);
+  MultiClassProblem problem = RandomMultiClassProblem(GetParam());
+  MultiClassJobSpec clone = problem.users.front();
+  clone.name += "-clone";
+  MultiClassJobSpec& original = problem.users.front();
+  original.weight = rng.Uniform(0.5, 1.5);
+  clone.weight = original.weight + rng.Uniform(0.5, 2.0);
+  problem.users.push_back(clone);
+  const CompiledMultiClass compiled = CompileMultiClass(problem);
+  const MultiClassResult result = SolveMultiClassTsf(compiled);
+  const UserId lo = 0, hi = compiled.num_users - 1;
+  EXPECT_GE(result.allocation.UserTasks(hi),
+            result.allocation.UserTasks(lo) - 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiClassRandomized,
+                         ::testing::Range<std::uint64_t>(1, 21));
 
 }  // namespace
 }  // namespace tsf

@@ -1,0 +1,112 @@
+// Chaos fuzz suites (label: slow). Seeded fault-injected scenarios on both
+// substrates with every invariant armed, the incremental-vs-reference
+// differential under faults, and post-quiescence fairness convergence.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "chaos/fault_plan.h"
+#include "chaos/scenario.h"
+#include "core/online/policy.h"
+#include "sim/des.h"
+
+namespace tsf::chaos {
+namespace {
+
+// First index where the two streams differ, rendered for a test message.
+std::string FirstDivergence(const std::vector<StreamEvent>& a,
+                            const std::vector<StreamEvent>& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i)
+    if (!(a[i] == b[i])) {
+      std::ostringstream out;
+      out << "first divergence at event #" << i << ": incremental='"
+          << FormatStreamEvent(a[i]) << "' reference='"
+          << FormatStreamEvent(b[i]) << "'";
+      return out.str();
+    }
+  std::ostringstream out;
+  out << "streams agree on the first " << n << " events; lengths " << a.size()
+      << " vs " << b.size();
+  return out.str();
+}
+
+class DesChaosFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DesChaosFuzz, InvariantsHoldUnderFaultsForEveryPolicy) {
+  const DesScenario scenario = RandomDesScenario(GetParam());
+  for (const OnlinePolicy& policy : AllOnlinePolicies()) {
+    const ScenarioReport report =
+        RunDesScenario(scenario.workload, policy, scenario.plan);
+    EXPECT_TRUE(report.ok())
+        << policy.name << ": " << ToString(report.violations.front());
+  }
+}
+
+// The retained linear-scan core must emit a bit-identical stream to the
+// heap-based production core — now also with crashes, restarts, and task
+// failures interleaved.
+TEST_P(DesChaosFuzz, IncrementalAndReferenceCoresAgreeUnderFaults) {
+  const DesScenario scenario = RandomDesScenario(GetParam());
+  for (const OnlinePolicy& policy : AllOnlinePolicies()) {
+    const ScenarioReport incremental = RunDesScenario(
+        scenario.workload, policy, scenario.plan, SimCore::kIncremental);
+    const ScenarioReport reference = RunDesScenario(
+        scenario.workload, policy, scenario.plan, SimCore::kReference);
+    EXPECT_EQ(incremental.stream_hash, reference.stream_hash)
+        << policy.name << ": "
+        << FirstDivergence(incremental.stream, reference.stream);
+  }
+}
+
+class MesosChaosFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MesosChaosFuzz, InvariantsHoldUnderFaults) {
+  const MesosScenario scenario = RandomMesosScenario(GetParam());
+  const ScenarioReport report = RunMesosScenario(scenario);
+  EXPECT_TRUE(report.ok()) << ToString(report.violations.front());
+  // Replays are deterministic: same scenario, same stream.
+  EXPECT_EQ(RunMesosScenario(scenario).stream_hash, report.stream_hash);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DesChaosFuzz, ::testing::Range<std::uint64_t>(1, 25));
+INSTANTIATE_TEST_SUITE_P(Seeds, MesosChaosFuzz,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+// After the last outage lifts and while every job still has pending work,
+// the faulted online run must drift back to the offline ProgressiveFilling
+// fair point (DESIGN.md §9's fairness-convergence invariant).
+TEST(FairnessConvergenceTest, TsfRecoversOfflineSharesAfterOutage) {
+  Workload workload;
+  workload.cluster.AddMachine(ResourceVector{8.0, 8.0});
+  workload.cluster.AddMachine(ResourceVector{8.0, 8.0});
+  for (std::size_t j = 0; j < 3; ++j) {
+    JobSpec spec;
+    spec.id = j;
+    spec.demand = ResourceVector{1.0, 1.0};
+    spec.num_tasks = 400;
+    spec.arrival_time = 0.0;
+    workload.jobs.push_back(MakeUniformJob(spec, 1.0));
+  }
+
+  FaultPlan plan;
+  plan.events.push_back(FaultSpec{5.0, FaultKind::kMachineCrash, 1, 0.0});
+  plan.events.push_back(FaultSpec{15.0, FaultKind::kMachineRestart, 1, 0.0});
+  ASSERT_EQ(ValidateFaultPlan(plan, 2, 0), "");
+
+  SimOptions options;
+  options.fairness_sample_interval = 0.5;
+  options.faults = CompileForDes(plan);
+  const SimResult result = Simulate(workload, OnlinePolicy::Tsf(),
+                                    SimCore::kIncremental, options);
+
+  // Sample window: well past the restart, well before the first job drains
+  // (3 * 400 task-seconds over 16 slots ≈ 75 s makespan).
+  const double recovered = FairnessGap(workload, result, 30.0, 60.0);
+  EXPECT_LT(recovered, 0.25) << "post-recovery fairness gap " << recovered;
+}
+
+}  // namespace
+}  // namespace tsf::chaos

@@ -12,6 +12,9 @@
 #             (skipped with a note if clang-format is not installed)
 #   bench     perf-regression smoke: build benchmarks, gate via
 #             tools/bench_regression.sh (skipped if no baseline committed)
+#   fuzz      chaos fuzz smoke: tools/fuzz_scenarios --smoke (64 seeded
+#             fault-injected scenarios, every policy, invariants armed)
+#             plus the injected-bug harness self-test
 #
 # Usage:
 #   tools/analyze.sh              run every step
@@ -24,7 +27,7 @@ set -u
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
 cd "$repo_root"
 
-steps="${*:-release asan tsan tidy lint format bench}"
+steps="${*:-release asan tsan tidy lint format bench fuzz}"
 results=""
 failed=0
 
@@ -74,8 +77,14 @@ run_step() {
         tools/bench_regression.sh build
       fi
       ;;
+    fuzz)
+      cmake --preset release &&
+      cmake --build --preset release --target fuzz_scenarios -j "$(nproc)" &&
+      build/tools/fuzz_scenarios --smoke &&
+      build/tools/fuzz_scenarios --smoke --inject_bug=leak_task_on_crash
+      ;;
     *)
-      echo "unknown step: $step (known: release asan tsan tidy lint format bench)" >&2
+      echo "unknown step: $step (known: release asan tsan tidy lint format bench fuzz)" >&2
       return 2
       ;;
   esac
