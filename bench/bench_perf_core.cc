@@ -161,4 +161,20 @@ BENCHMARK(BM_WorkloadSynthesis)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace tsf
 
-BENCHMARK_MAIN();
+// How *this* binary was compiled. The library_build_type the JSON context
+// already carries describes libbenchmark's own build, which is debug on
+// some distro packages even when our code is optimized —
+// tools/bench_regression.sh gates on this key instead so a debug-built
+// baseline can never be recorded again.
+int main(int argc, char** argv) {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("tsf_build_type", "release");
+#else
+  benchmark::AddCustomContext("tsf_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

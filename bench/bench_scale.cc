@@ -1,0 +1,185 @@
+// Trace-scale end-to-end benchmark: 10k/100k-machine Google-style fleets
+// pushed through the full DES, reporting placement throughput (tasks/sec)
+// and peak RSS into BENCH_scale.json.
+//
+// Lanes (run in ascending memory-footprint order, because getrusage peak
+// RSS is process-monotone — a big lane would mask every later one):
+//
+//   scale_smoke_10k_{collapsed,flat}  — 10k machines, ~80k tasks (CI lane)
+//   scale_10k_{collapsed,flat}        — 10k machines, ~1M tasks
+//   scale_100k_collapsed              — 100k machines, ~1M tasks
+//
+// The collapsed/flat pairs share one workload, so their items/sec ratio is
+// the speedup of the equivalence-class engine over the legacy per-machine
+// path (the placement streams are bit-identical — tests/ pins that; this
+// binary only times them). --smoke keeps just the smoke pair; --flat_cluster
+// is the escape hatch that forces every lane onto the flat path (and skips
+// the 100k lane, which is only tractable collapsed).
+//
+// Unlike bench_perf_core this is a plain binary, not google-benchmark: each
+// lane is minutes-scale, one iteration is statistically fine, and we need
+// getrusage between lanes.
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/online/policy.h"
+#include "sim/des.h"
+#include "trace/google.h"
+#include "util/check.h"
+#include "util/flags.h"
+
+namespace tsf {
+namespace {
+
+double PeakRssMb() {
+  struct rusage usage {};
+  TSF_CHECK_EQ(getrusage(RUSAGE_SELF, &usage), 0);
+  // Linux reports ru_maxrss in kilobytes.
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+struct LaneResult {
+  std::string name;
+  std::size_t machines = 0;
+  std::size_t tasks = 0;
+  double seconds = 0.0;
+  double items_per_second = 0.0;
+  double peak_rss_mb = 0.0;   // process peak at lane end (monotone)
+  double rss_delta_mb = 0.0;  // growth during the lane
+};
+
+LaneResult RunLane(const std::string& name, const Workload& workload,
+                   ClusterMode mode) {
+  LaneResult lane;
+  lane.name = name;
+  lane.machines = workload.cluster.num_machines();
+  lane.tasks = workload.TotalTasks();
+  const double rss_before = PeakRssMb();
+  SimOptions options;
+  options.cluster_mode = mode;
+  const auto start = std::chrono::steady_clock::now();
+  const SimResult result =
+      Simulate(workload, OnlinePolicy::Tsf(), SimCore::kIncremental, options);
+  const auto stop = std::chrono::steady_clock::now();
+  TSF_CHECK_EQ(result.tasks.size(), lane.tasks);
+  lane.seconds = std::chrono::duration<double>(stop - start).count();
+  lane.items_per_second = static_cast<double>(lane.tasks) / lane.seconds;
+  lane.peak_rss_mb = PeakRssMb();
+  lane.rss_delta_mb = lane.peak_rss_mb - rss_before;
+  std::printf("%-26s %9zu machines %9zu tasks %8.2fs %12.0f tasks/s  rss %7.1f MB (+%.1f)\n",
+              lane.name.c_str(), lane.machines, lane.tasks, lane.seconds,
+              lane.items_per_second, lane.peak_rss_mb, lane.rss_delta_mb);
+  std::fflush(stdout);
+  return lane;
+}
+
+Workload MakeWorkload(std::size_t num_machines, std::size_t num_jobs,
+                      std::uint64_t seed) {
+  trace::GoogleTraceConfig config;
+  config.num_machines = num_machines;
+  config.num_jobs = num_jobs;
+  // A profile menu keeps the fleet collapsible (~10 platforms x 8 profiles
+  // of attribute sets); 0 would make nearly every machine unique at this
+  // scale. See GoogleTraceConfig::num_attribute_profiles.
+  config.num_attribute_profiles = 8;
+  config.seed = seed;
+  return trace::SynthesizeGoogleWorkload(config);
+}
+
+int Main(int argc, char** argv) {
+  const Flags flags(
+      argc, argv,
+      {{"smoke", "run only the reduced-size 10k lanes (CI gate)"},
+       {"flat_cluster", "force the legacy flat path on every lane (A/B hatch)"},
+       {"out", "output JSON path (default BENCH_scale.json)"},
+       {"seed", "workload seed (default 1)"}});
+  const bool smoke = flags.GetBool("smoke", false);
+  const bool flat_only = flags.GetBool("flat_cluster", false);
+  const std::string out_path = flags.GetString("out", "BENCH_scale.json");
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+
+  // ~40 tasks/job on average: 2k jobs ~ 80k tasks (smoke), 25k jobs ~ 1M.
+  constexpr std::size_t kSmokeJobs = 2000;
+  constexpr std::size_t kFullJobs = 25000;
+
+  std::vector<LaneResult> lanes;
+  {
+    const Workload smoke_workload = MakeWorkload(10000, kSmokeJobs, seed);
+    if (!flat_only)
+      lanes.push_back(RunLane("scale_smoke_10k_collapsed", smoke_workload,
+                              ClusterMode::kCollapsed));
+    lanes.push_back(
+        RunLane("scale_smoke_10k_flat", smoke_workload, ClusterMode::kFlat));
+  }
+  if (!smoke) {
+    const Workload full_workload = MakeWorkload(10000, kFullJobs, seed);
+    if (!flat_only)
+      lanes.push_back(RunLane("scale_10k_collapsed", full_workload,
+                              ClusterMode::kCollapsed));
+    lanes.push_back(
+        RunLane("scale_10k_flat", full_workload, ClusterMode::kFlat));
+    if (!flat_only) {
+      const Workload huge_workload = MakeWorkload(100000, kFullJobs, seed);
+      lanes.push_back(RunLane("scale_100k_collapsed", huge_workload,
+                              ClusterMode::kCollapsed));
+    }
+  }
+
+  // Collapsed-over-flat speedups for every lane pair that ran.
+  auto find = [&](const std::string& name) -> const LaneResult* {
+    for (const LaneResult& lane : lanes)
+      if (lane.name == name) return &lane;
+    return nullptr;
+  };
+  auto speedup = [&](const char* collapsed_name, const char* flat_name) {
+    const LaneResult* c = find(collapsed_name);
+    const LaneResult* f = find(flat_name);
+    return (c != nullptr && f != nullptr)
+               ? c->items_per_second / f->items_per_second
+               : 0.0;
+  };
+  const double smoke_speedup =
+      speedup("scale_smoke_10k_collapsed", "scale_smoke_10k_flat");
+  const double full_speedup = speedup("scale_10k_collapsed", "scale_10k_flat");
+  if (smoke_speedup > 0.0)
+    std::printf("speedup (smoke 10k, collapsed vs flat): %.2fx\n", smoke_speedup);
+  if (full_speedup > 0.0)
+    std::printf("speedup (full 10k, collapsed vs flat):  %.2fx\n", full_speedup);
+
+  std::ofstream out(out_path);
+  TSF_CHECK(out.good()) << "cannot write " << out_path;
+  out << "{\n  \"context\": {\n"
+      << "    \"tsf_build_type\": \""
+#ifdef NDEBUG
+      << "release"
+#else
+      << "debug"
+#endif
+      << "\",\n    \"seed\": " << seed
+      << ",\n    \"peak_rss_note\": \"ru_maxrss is process-monotone; lanes run"
+         " in ascending footprint order and rss_delta_mb is the growth during"
+         " the lane\"\n  },\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    const LaneResult& lane = lanes[i];
+    out << "    {\"name\": \"" << lane.name << "\", \"machines\": " << lane.machines
+        << ", \"tasks\": " << lane.tasks << ", \"real_time\": " << lane.seconds
+        << ", \"time_unit\": \"s\", \"items_per_second\": " << lane.items_per_second
+        << ", \"peak_rss_mb\": " << lane.peak_rss_mb
+        << ", \"rss_delta_mb\": " << lane.rss_delta_mb << "}"
+        << (i + 1 < lanes.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"speedup_smoke_10k\": " << smoke_speedup
+      << ",\n  \"speedup_full_10k\": " << full_speedup << "\n}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace tsf
+
+int main(int argc, char** argv) { return tsf::Main(argc, argv); }

@@ -10,6 +10,18 @@ namespace {
 
 constexpr const char* kHeader = "tsf-chaos-repro v1";
 
+ClusterMode ModeFromString(const std::string& name) {
+  if (name == "auto") return ClusterMode::kAuto;
+  if (name == "flat") return ClusterMode::kFlat;
+  if (name == "collapsed") return ClusterMode::kCollapsed;
+  TSF_CHECK(false) << "unknown cluster mode '" << name << "'";
+  return ClusterMode::kAuto;
+}
+
+bool IsDesSubstrate(const std::string& substrate) {
+  return substrate == "des" || substrate == "des-uniform";
+}
+
 mesos::InjectedBug BugFromString(const std::string& name) {
   if (name == "none") return mesos::InjectedBug::kNone;
   if (name == "leak_task_on_crash")
@@ -34,7 +46,7 @@ class ScopedInjectedBug {
 }  // namespace
 
 std::string SerializeRepro(const Repro& repro) {
-  TSF_CHECK(repro.substrate == "des" || repro.substrate == "mesos")
+  TSF_CHECK(IsDesSubstrate(repro.substrate) || repro.substrate == "mesos")
       << "unknown substrate '" << repro.substrate << "'";
   std::ostringstream out;
   out << kHeader << "\n";
@@ -42,6 +54,8 @@ std::string SerializeRepro(const Repro& repro) {
   out << "seed " << repro.scenario_seed << "\n";
   out << "policy " << repro.policy << "\n";
   out << "bug " << repro.injected_bug << "\n";
+  if (repro.cluster_mode != "auto")
+    out << "mode " << repro.cluster_mode << "\n";
   if (!repro.violation.empty()) out << "violation " << repro.violation << "\n";
   out << SerializeFaultPlan(repro.plan);
   return out.str();
@@ -67,6 +81,8 @@ Repro ParseRepro(const std::string& text) {
       fields >> repro.policy;
     } else if (head == "bug") {
       fields >> repro.injected_bug;
+    } else if (head == "mode") {
+      fields >> repro.cluster_mode;
     } else if (head == "violation") {
       // The remainder of the line, spaces included.
       std::getline(fields >> std::ws, repro.violation);
@@ -77,7 +93,7 @@ Repro ParseRepro(const std::string& text) {
       TSF_CHECK(false) << "unknown repro field '" << head << "'";
     }
   }
-  TSF_CHECK(repro.substrate == "des" || repro.substrate == "mesos")
+  TSF_CHECK(IsDesSubstrate(repro.substrate) || repro.substrate == "mesos")
       << "repro missing/invalid substrate";
   repro.plan = ParseFaultPlan(plan_text);
   return repro;
@@ -85,11 +101,17 @@ Repro ParseRepro(const std::string& text) {
 
 std::vector<Violation> ReplayRepro(const Repro& repro) {
   const ScopedInjectedBug armed(BugFromString(repro.injected_bug));
-  if (repro.substrate == "des") {
-    const Workload workload = RandomChaosWorkload(repro.scenario_seed);
+  if (IsDesSubstrate(repro.substrate)) {
+    const Workload workload =
+        repro.substrate == "des-uniform"
+            ? RandomUniformChaosWorkload(repro.scenario_seed)
+            : RandomChaosWorkload(repro.scenario_seed);
     for (const OnlinePolicy& policy : AllOnlinePolicies())
       if (policy.name == repro.policy)
-        return RunDesScenario(workload, policy, repro.plan).violations;
+        return RunDesScenario(workload, policy, repro.plan,
+                              SimCore::kIncremental,
+                              ModeFromString(repro.cluster_mode))
+            .violations;
     TSF_CHECK(false) << "unknown policy '" << repro.policy << "'";
     return {};
   }

@@ -18,12 +18,18 @@
 namespace tsf::chaos {
 
 struct Repro {
-  std::string substrate;            // "des" | "mesos"
-  std::uint64_t scenario_seed = 0;  // RandomChaosWorkload / RandomMesosScenario
+  // "des" (RandomChaosWorkload), "des-uniform" (RandomUniformChaosWorkload,
+  // the class-collapsible clusters), or "mesos" (RandomMesosScenario).
+  std::string substrate;
+  std::uint64_t scenario_seed = 0;
   // DES: online policy name (FIFO/DRF/CDRF/CPU/Mem/TSF); Mesos: ignored
   // (the allocator policy is derived from the scenario seed).
   std::string policy = "TSF";
   std::string injected_bug = "none";  // "none" | "leak_task_on_crash"
+  // DES machine-set representation the failure was observed under:
+  // "auto" | "flat" | "collapsed" (sim/des.h ClusterMode). Serialized only
+  // when not "auto", so pre-existing repro files parse unchanged.
+  std::string cluster_mode = "auto";
   FaultPlan plan;
   // Informational: the first violation observed when the repro was minted.
   std::string violation;

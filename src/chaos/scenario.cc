@@ -53,6 +53,79 @@ Workload RandomChaosWorkload(std::uint64_t seed) {
   return workload;
 }
 
+Workload RandomUniformChaosWorkload(std::uint64_t seed) {
+  // Decorrelated from RandomChaosWorkload so the two generators' goldens
+  // never alias even at equal seeds.
+  Rng rng(seed ^ 0xda3e39cb94b95bdbull);
+  Workload workload;
+
+  // Menus first: every machine draws a whole (capacity, attributes)
+  // configuration, so the cluster collapses into a handful of equivalence
+  // classes with several members each.
+  const auto num_shapes = static_cast<std::size_t>(rng.Int(1, 2));
+  std::vector<ResourceVector> shapes;
+  for (std::size_t s = 0; s < num_shapes; ++s)
+    shapes.push_back(ResourceVector(std::vector<double>{
+        rng.Uniform(3.0, 8.0), rng.Uniform(3.0, 8.0)}));
+  const auto num_profiles = static_cast<std::size_t>(rng.Int(1, 2));
+  std::vector<AttributeSet> profiles;
+  for (std::size_t p = 0; p < num_profiles; ++p) {
+    AttributeSet attributes;
+    for (AttributeId a = 0; a < 4; ++a)
+      if (rng.Chance(0.5)) attributes.Add(a);
+    profiles.push_back(std::move(attributes));
+  }
+
+  const auto machines = static_cast<std::size_t>(rng.Int(4, 8));
+  for (std::size_t m = 0; m < machines; ++m) {
+    AttributeSet attributes = profiles[rng.Below(profiles.size())];
+    workload.cluster.AddMachine(shapes[rng.Below(shapes.size())],
+                                std::move(attributes));
+  }
+
+  const auto jobs = static_cast<std::size_t>(rng.Int(2, 6));
+  for (UserId i = 0; i < jobs; ++i) {
+    JobSpec spec;
+    spec.id = i;
+    spec.name = "j" + std::to_string(i);
+    // Demands guaranteed to fit the smallest possible shape (3.0).
+    spec.demand = ResourceVector(std::vector<double>{
+        rng.Uniform(0.3, 2.0), rng.Uniform(0.3, 2.0)});
+    spec.arrival_time = rng.Uniform(0.0, 10.0);
+    spec.num_tasks = rng.Int(3, 25);
+    spec.weight = rng.Chance(0.5) ? 1.0 : rng.Uniform(0.5, 4.0);
+    const auto roll = rng.Int(0, 2);
+    if (roll == 1) {
+      // Whitelist: splits classes (a member can be listed while its
+      // class-mates are not).
+      std::vector<MachineId> allowed;
+      for (MachineId m = 0; m < machines; ++m)
+        if (rng.Chance(0.6)) allowed.push_back(m);
+      if (allowed.empty()) allowed.push_back(rng.Below(machines));
+      spec.constraint = Constraint::Whitelist(allowed);
+    } else if (roll == 2) {
+      // Attributes of a live machine: satisfiable by construction, and
+      // eligibility stays class-uniform.
+      const AttributeSet& menu =
+          workload.cluster.machine(rng.Below(machines)).attributes;
+      AttributeSet required;
+      for (const AttributeId id : menu.ids())
+        if (rng.Chance(0.5)) required.Add(id);
+      if (!required.empty())
+        spec.constraint = Constraint::RequireAttributes(std::move(required));
+    }
+    workload.jobs.push_back(
+        MakeJitteredJob(std::move(spec), rng.Uniform(4.0, 15.0), 0.2, rng()));
+  }
+  std::sort(workload.jobs.begin(), workload.jobs.end(),
+            [](const SimJob& a, const SimJob& b) {
+              return a.spec.arrival_time < b.spec.arrival_time;
+            });
+  for (std::size_t j = 0; j < workload.jobs.size(); ++j)
+    workload.jobs[j].spec.id = j;
+  return workload;
+}
+
 DesScenario RandomDesScenario(std::uint64_t seed) {
   DesScenario scenario;
   scenario.workload = RandomChaosWorkload(seed);
@@ -64,6 +137,20 @@ DesScenario RandomDesScenario(std::uint64_t seed) {
   shape.max_atoms = 8;
   shape.mean_outage = 6.0;
   // Decorrelate the plan stream from the workload stream.
+  scenario.plan = RandomFaultPlan(shape, seed ^ 0x9e3779b97f4a7c15ull);
+  return scenario;
+}
+
+DesScenario RandomUniformDesScenario(std::uint64_t seed) {
+  DesScenario scenario;
+  scenario.workload = RandomUniformChaosWorkload(seed);
+  FaultPlanShape shape;
+  shape.num_machines = scenario.workload.cluster.num_machines();
+  shape.num_frameworks = 0;
+  shape.earliest = 1.0;
+  shape.horizon = 40.0;
+  shape.max_atoms = 8;
+  shape.mean_outage = 6.0;
   scenario.plan = RandomFaultPlan(shape, seed ^ 0x9e3779b97f4a7c15ull);
   return scenario;
 }
@@ -126,13 +213,15 @@ std::vector<StreamEvent> ConvertDesStream(
 
 ScenarioReport RunDesScenario(const Workload& workload,
                               const OnlinePolicy& policy,
-                              const FaultPlan& plan, SimCore core) {
+                              const FaultPlan& plan, SimCore core,
+                              ClusterMode cluster_mode) {
   TSF_CHECK(ValidateFaultPlan(plan, workload.cluster.num_machines(), 0).empty())
       << "ill-formed DES fault plan";
   std::vector<SimStreamEvent> raw;
   SimOptions options;
   options.faults = CompileForDes(plan);
   options.stream = &raw;
+  options.cluster_mode = cluster_mode;
   Simulate(workload, policy, core, options);
   ScenarioReport report;
   report.stream = ConvertDesStream(raw);

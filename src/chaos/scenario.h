@@ -38,6 +38,14 @@ std::vector<OnlinePolicy> AllOnlinePolicies();
 // work is in flight (2-5 machines, 2-6 jobs, runtimes of a few seconds).
 Workload RandomChaosWorkload(std::uint64_t seed);
 
+// Like RandomChaosWorkload, but machine capacities and attribute sets are
+// drawn whole from small per-seed menus, so several machines land in each
+// equivalence class (core/cluster.h MachineClassIndex). Jobs mix
+// unconstrained, attribute-constrained (class-uniform eligibility), and
+// whitelisted (splits classes) constraints — the adversarial surface of
+// the collapsed online scheduler.
+Workload RandomUniformChaosWorkload(std::uint64_t seed);
+
 struct DesScenario {
   Workload workload;
   FaultPlan plan;
@@ -45,6 +53,11 @@ struct DesScenario {
 
 // RandomChaosWorkload plus a RandomFaultPlan shaped to its cluster.
 DesScenario RandomDesScenario(std::uint64_t seed);
+
+// RandomUniformChaosWorkload plus a RandomFaultPlan shaped to its cluster:
+// the collapsed-cluster golden/differential scenarios, where faults hit
+// machines inside populated equivalence classes.
+DesScenario RandomUniformDesScenario(std::uint64_t seed);
 
 // The checker's static view of a DES workload (normalized units, matching
 // the scheduler's internal arithmetic).
@@ -54,10 +67,14 @@ std::vector<StreamEvent> ConvertDesStream(
     const std::vector<SimStreamEvent>& stream);
 
 // Simulates with faults + stream recording, then checks every invariant.
+// `cluster_mode` picks the machine-set representation (sim/des.h): kAuto
+// collapses only when it pays off, kFlat/kCollapsed force one engine — the
+// emitted stream must be identical either way.
 ScenarioReport RunDesScenario(const Workload& workload,
                               const OnlinePolicy& policy,
                               const FaultPlan& plan,
-                              SimCore core = SimCore::kIncremental);
+                              SimCore core = SimCore::kIncremental,
+                              ClusterMode cluster_mode = ClusterMode::kAuto);
 
 // --- Mesos substrate --------------------------------------------------------
 

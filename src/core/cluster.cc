@@ -1,10 +1,86 @@
 #include "core/cluster.h"
 
+#include <cstring>
 #include <numeric>
+#include <string>
+#include <unordered_map>
 
 #include "util/check.h"
 
 namespace tsf {
+
+namespace {
+
+// Byte-exact class key: raw capacity doubles + sorted attribute ids. Two
+// machines share a class iff their keys are equal (no tolerance — equal
+// means interchangeable for every fit test and constraint probe).
+std::string ClassKey(const Machine& machine) {
+  std::string key;
+  key.reserve(machine.capacity.dimension() * sizeof(double) +
+              machine.attributes.size() * sizeof(AttributeId));
+  for (std::size_t r = 0; r < machine.capacity.dimension(); ++r) {
+    const double v = machine.capacity[r];
+    key.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  }
+  for (const AttributeId id : machine.attributes.ids())
+    key.append(reinterpret_cast<const char*>(&id), sizeof(id));
+  return key;
+}
+
+}  // namespace
+
+std::size_t MachineClassIndex::CountClasses(const Cluster& cluster) {
+  std::unordered_map<std::string, std::uint32_t> class_by_key;
+  for (const Machine& machine : cluster.machines())
+    class_by_key.emplace(ClassKey(machine),
+                         static_cast<std::uint32_t>(class_by_key.size()));
+  return class_by_key.size();
+}
+
+MachineClassIndex::MachineClassIndex(const Cluster& cluster) {
+  const std::size_t n = cluster.num_machines();
+  TSF_CHECK_GT(n, 0u) << "class index of an empty cluster";
+  class_of_.resize(n);
+  std::unordered_map<std::string, std::uint32_t> class_by_key;
+  for (MachineId m = 0; m < n; ++m) {
+    const auto [it, inserted] = class_by_key.emplace(
+        ClassKey(cluster.machine(m)),
+        static_cast<std::uint32_t>(representative_.size()));
+    if (inserted) {
+      representative_.push_back(m);
+      class_size_.push_back(0);
+      members_.emplace_back(n);
+    }
+    class_of_[m] = it->second;
+    ++class_size_[it->second];
+    members_[it->second].Set(m);
+  }
+
+  // Capacity groups, first-seen by machine index — the exact partition and
+  // order the flat DES monopoly sweep iterates (sim/des.cc GroupByCapacity).
+  group_of_class_.assign(num_classes(), UINT32_MAX);
+  std::vector<double> group_count;
+  for (MachineId m = 0; m < n; ++m) {
+    const std::uint32_t c = class_of_[m];
+    if (group_of_class_[c] == UINT32_MAX) {
+      const ResourceVector capacity = cluster.NormalizedCapacity(m);
+      std::uint32_t g = UINT32_MAX;
+      for (std::size_t i = 0; i < group_capacity_.size(); ++i)
+        if (group_capacity_[i] == capacity) {
+          g = static_cast<std::uint32_t>(i);
+          break;
+        }
+      if (g == UINT32_MAX) {
+        g = static_cast<std::uint32_t>(group_capacity_.size());
+        group_capacity_.push_back(capacity);
+        group_count.push_back(0.0);
+      }
+      group_of_class_[c] = g;
+    }
+    group_count[group_of_class_[c]] += 1.0;
+  }
+  group_count_ = std::move(group_count);
+}
 
 Cluster::Cluster(std::vector<Machine> machines) : machines_(std::move(machines)) {
   for (std::size_t m = 0; m < machines_.size(); ++m) {
@@ -26,7 +102,15 @@ MachineId Cluster::AddMachine(ResourceVector capacity, AttributeSet attributes,
   machine.capacity = std::move(capacity);
   machine.attributes = std::move(attributes);
   machines_.push_back(std::move(machine));
-  RecomputeTotal();
+  // Incremental total: appending accumulates in machine order, the exact
+  // addition sequence RecomputeTotal would produce — bitwise-identical
+  // normalization, without the O(machines^2) rescan that dominated
+  // 100k-machine fleet construction.
+  if (machines_.size() == 1) {
+    total_ = machines_.back().capacity;
+  } else {
+    total_ += machines_.back().capacity;
+  }
   return machines_.back().id;
 }
 

@@ -19,6 +19,9 @@ ReferenceScheduler::ReferenceScheduler(
 }
 
 UserId ReferenceScheduler::AddUser(OnlineUserSpec spec) {
+  // Interned specs carry their bits in the shared set; copy them out — the
+  // reference core stays flat and naive on purpose.
+  if (spec.eligible_set != nullptr) spec.eligible = spec.eligible_set->machines;
   TSF_CHECK_EQ(spec.eligible.size(), free_.size());
   TSF_CHECK(spec.eligible.Any());
   TSF_CHECK_GT(spec.demand.MaxComponent(), 0.0) << "all-zero task demand";

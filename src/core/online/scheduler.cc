@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "telemetry/telemetry.h"
 #include "util/check.h"
@@ -10,17 +11,46 @@ namespace tsf {
 
 OnlineScheduler::OnlineScheduler(std::vector<ResourceVector> machine_capacity,
                                  OnlinePolicy policy)
+    : OnlineScheduler(std::move(machine_capacity), std::move(policy), nullptr) {}
+
+OnlineScheduler::OnlineScheduler(std::vector<ResourceVector> machine_capacity,
+                                 OnlinePolicy policy,
+                                 const MachineClassIndex* classes)
     : policy_(std::move(policy)),
       free_(std::move(machine_capacity)),
       capacity_(free_),
       down_(free_.size(), false),
-      machine_users_(free_.size()) {
+      classes_(classes),
+      wait_lists_(classes ? 0 : free_.size()) {
   TSF_CHECK(!free_.empty());
+  if (classes_ == nullptr) return;
+  TSF_CHECK_EQ(classes_->num_machines(), free_.size())
+      << "class index built for a different machine set";
+  const std::size_t nc = classes_->num_classes();
+  class_ub_.reserve(nc);
+  for (std::size_t c = 0; c < nc; ++c) {
+    // All members share one capacity vector; the representative's pristine
+    // capacity is a valid upper bound on every member's free capacity.
+    class_ub_.push_back(capacity_[classes_->representative(c)]);
+  }
+  class_scan_epoch_.assign(nc, 0);
+  class_scan_fit_.assign(nc, 0);
+  class_visited_.assign(nc, 0);
+  class_observed_.assign(nc, ResourceVector());
+  class_buckets_.resize(nc);
+}
+
+std::uint32_t OnlineScheduler::InternDemand(const ResourceVector& demand) {
+  std::string key(reinterpret_cast<const char*>(demand.values().data()),
+                  demand.values().size() * sizeof(double));
+  const auto [it, inserted] =
+      demand_ids_.emplace(std::move(key),
+                          static_cast<std::uint32_t>(demands_.size()));
+  if (inserted) demands_.push_back(demand);
+  return it->second;
 }
 
 UserId OnlineScheduler::AddUser(OnlineUserSpec spec) {
-  TSF_CHECK_EQ(spec.eligible.size(), free_.size());
-  TSF_CHECK(spec.eligible.Any());
   // An all-zero demand would "fit" even a crashed (zero-capacity) machine
   // and has an infinite monopoly count; reject it at the boundary.
   TSF_CHECK_GT(spec.demand.MaxComponent(), 0.0) << "all-zero task demand";
@@ -31,7 +61,19 @@ UserId OnlineScheduler::AddUser(OnlineUserSpec spec) {
   const UserId id = users_.size();
   User user;
   user.demand = std::move(spec.demand);
-  user.eligible = std::move(spec.eligible);
+  if (spec.eligible_set != nullptr) {
+    user.elig = std::move(spec.eligible_set);
+  } else if (classes_ != nullptr) {
+    user.elig = WrapEligibility(std::move(spec.eligible), *classes_);
+  } else {
+    user.elig = WrapFlatEligibility(std::move(spec.eligible));
+  }
+  TSF_CHECK_EQ(user.elig->machines.size(), free_.size());
+  TSF_CHECK(user.elig->machines.Any());
+  if (classes_ != nullptr)
+    TSF_CHECK_EQ(user.elig->classes.size(), classes_->num_classes())
+        << "collapsed scheduler needs class summaries on the eligibility set";
+  if (classes_ != nullptr) user.demand_id = InternDemand(user.demand);
   user.weight = spec.weight;
   user.h = spec.h;
   user.g = spec.g;
@@ -43,10 +85,27 @@ UserId OnlineScheduler::AddUser(OnlineUserSpec spec) {
                  ? static_cast<double>(id)  // arrival order, never changes
                  : 0.0;
   users_.push_back(std::move(user));
-  if (users_[id].pending > 0)
-    users_[id].eligible.ForEachSet(
-        [&](std::size_t m) { machine_users_[m].push_back(id); });
+  if (users_[id].pending > 0) RegisterWaiting(id);
   return id;
+}
+
+void OnlineScheduler::RegisterWaiting(UserId id) {
+  const User& user = users_[id];
+  const EligibilitySet& elig = *user.elig;
+  if (classes_ != nullptr) {
+    elig.classes.ForEachSet([&](std::size_t c) {
+      // Classes see few distinct demand shapes; linear probe suffices.
+      for (DemandBucket& bucket : class_buckets_[c])
+        if (bucket.demand_id == user.demand_id) {
+          bucket.users.push_back(id);
+          return;
+        }
+      class_buckets_[c].push_back(DemandBucket{user.demand_id, {id}});
+    });
+  } else {
+    elig.machines.ForEachSet(
+        [&](std::size_t m) { wait_lists_[m].push_back(id); });
+  }
 }
 
 void OnlineScheduler::AddPending(UserId user, long count) {
@@ -57,23 +116,23 @@ void OnlineScheduler::AddPending(UserId user, long count) {
   const bool was_drained = u.pending <= 0;
   u.pending += count;
   total_pending_ += count;
-  // Drained users fall out of the per-machine wait lists (see ServeMachine);
-  // put this one back now that it has work again. A not-yet-compacted stale
-  // entry just yields a duplicate, which the serve loop tolerates: the heap
+  // Drained users fall out of the wait lists (see ServeMachine); put this
+  // one back now that it has work again. A not-yet-compacted stale entry
+  // just yields a duplicate, which the serve loop tolerates: the heap
   // orders by (key, id), so duplicates pop as stale and re-rank harmlessly.
-  if (was_drained && u.pending > 0)
-    u.eligible.ForEachSet(
-        [&](std::size_t m) { machine_users_[m].push_back(user); });
+  if (was_drained && u.pending > 0) RegisterWaiting(user);
 }
 
 void OnlineScheduler::OnTaskFinish(UserId user, MachineId machine) {
   User& u = users_[user];
   TSF_CHECK_GT(u.running, 0);
   TSF_CHECK(!down_[machine]) << "finish on crashed machine " << machine;
-  TSF_CHECK(u.eligible.Test(machine));
+  TSF_CHECK(u.elig->machines.Test(machine));
   --u.running;
   UpdateKey(u);
   free_[machine] += u.demand;
+  if (classes_ != nullptr)
+    class_ub_[classes_->class_of(machine)].MaxWith(free_[machine]);
 }
 
 void OnlineScheduler::Retire(UserId user) {
@@ -86,6 +145,8 @@ void OnlineScheduler::CrashMachine(MachineId machine) {
   TSF_CHECK(!down_[machine]) << "machine " << machine << " already down";
   free_[machine] = ResourceVector(capacity_[machine].dimension());
   down_[machine] = true;
+  // class_ub_ stays stale-high: a zeroed member only lowers the true max,
+  // and the bound is allowed to overestimate.
 }
 
 void OnlineScheduler::RestoreMachine(MachineId machine) {
@@ -93,6 +154,8 @@ void OnlineScheduler::RestoreMachine(MachineId machine) {
   TSF_CHECK(down_[machine]) << "machine " << machine << " is not down";
   free_[machine] = capacity_[machine];
   down_[machine] = false;
+  if (classes_ != nullptr)
+    class_ub_[classes_->class_of(machine)].MaxWith(free_[machine]);
 }
 
 double OnlineScheduler::Key(UserId user) const { return users_[user].key; }
@@ -113,12 +176,78 @@ void OnlineScheduler::PlaceUserGreedy(
     UserId user, const std::function<void(MachineId)>& on_place) {
   User& u = users_[user];
   if (u.pending <= 0) return;
+  if (classes_ != nullptr) {
+    PlaceUserGreedyCollapsed(user, on_place);
+    return;
+  }
   // First-fit over eligible machines in index order; stop early once the
   // queue drains.
-  u.eligible.ForEachSetUntil([&](std::size_t m) {
+  u.elig->machines.ForEachSetUntil([&](std::size_t m) {
     while (TryPlace(user, m)) on_place(m);
     return u.pending <= 0;
   });
+}
+
+void OnlineScheduler::PlaceUserGreedyCollapsed(
+    UserId user, const std::function<void(MachineId)>& on_place) {
+  User& u = users_[user];
+  const DynamicBitset& elig = u.elig->machines;
+  ++scan_epoch_;
+  if (scan_epoch_ == 0) {  // epoch counter wrapped: hard-reset the memo
+    std::fill(class_scan_epoch_.begin(), class_scan_epoch_.end(), 0u);
+    scan_epoch_ = 1;
+  }
+  // Same machine order as the flat scan; whole classes are pruned when the
+  // upper bound proves no member can fit this demand.
+  for (std::size_t m = elig.FindFirst(); m < elig.size();
+       m = elig.FindNextSet(m + 1)) {
+    const std::uint32_t c = classes_->class_of(m);
+    if (class_scan_epoch_[c] != scan_epoch_) {
+      class_scan_epoch_[c] = scan_epoch_;
+      class_scan_fit_[c] =
+          static_cast<signed char>(class_ub_[c].Fits(u.demand) ? 1 : 0);
+      class_visited_[c] = 0;
+    }
+    if (class_scan_fit_[c] == 0) {
+      TSF_COUNTER_ADD("scheduler.greedy.class_skips", 1);
+      continue;
+    }
+    while (TryPlace(user, m)) on_place(m);
+    // Only this user places during the scan (capacity is monotone
+    // non-increasing), so the running max of post-visit free vectors upper
+    // bounds every member visited so far.
+    if (class_visited_[c] == 0) {
+      class_observed_[c] = free_[m];
+    } else {
+      class_observed_[c].MaxWith(free_[m]);
+    }
+    ++class_visited_[c];
+    if (class_visited_[c] == classes_->class_size(c)) {
+      // Visited the whole class: the observed max is its true bound right
+      // now. Commit it — this is the only place the bound tightens (the
+      // event-driven updates only ever grow it).
+      TSF_DCHECK(u.elig->ClassFull(c, *classes_));
+      class_ub_[c] = class_observed_[c];
+      TSF_COUNTER_ADD("scheduler.greedy.ub_tightened", 1);
+    }
+    if (u.pending <= 0) return;
+  }
+}
+
+std::size_t OnlineScheduler::AdvanceCursor(ClassCursor& cursor) {
+  const User& u = users_[cursor.user];
+  const DynamicBitset& elig = u.elig->machines;
+  std::size_t m = elig.FindNextSet(cursor.next);
+  while (m < elig.size()) {
+    const std::uint32_t c = classes_->class_of(m);
+    signed char& fit = cursor.class_fit[c];
+    if (fit < 0)
+      fit = static_cast<signed char>(class_ub_[c].Fits(u.demand) ? 1 : 0);
+    if (fit == 1 && free_[m].Fits(u.demand)) break;
+    m = elig.FindNextSet(m + 1);
+  }
+  cursor.next = m;
+  return m < elig.size() ? m : SIZE_MAX;
 }
 
 void OnlineScheduler::PlaceUsersInterleaved(
@@ -128,6 +257,10 @@ void OnlineScheduler::PlaceUsersInterleaved(
   if (users.size() == 1) {
     const UserId user = users.front();
     PlaceUserGreedy(user, [&](MachineId m) { on_place(user, m); });
+    return;
+  }
+  if (classes_ != nullptr) {
+    PlaceUsersInterleavedCollapsed(users, on_place);
     return;
   }
 
@@ -146,7 +279,7 @@ void OnlineScheduler::PlaceUsersInterleaved(
     TSF_CHECK_LT(user, users_.size());
     Cursor cursor;
     cursor.user = user;
-    users_[user].eligible.ForEachSet(
+    users_[user].elig->machines.ForEachSet(
         [&](std::size_t m) { cursor.machines.push_back(m); });
     cursors.push_back(std::move(cursor));
   }
@@ -185,9 +318,59 @@ void OnlineScheduler::PlaceUsersInterleaved(
   }
 }
 
+void OnlineScheduler::PlaceUsersInterleavedCollapsed(
+    std::vector<UserId> users,
+    const std::function<void(UserId, MachineId)>& on_place) {
+  // Same (key, cursor-index) serving order as the flat loop; the cursors
+  // walk the eligibility bitsets directly instead of materializing one
+  // machine vector per user, and dead classes are pruned via the upper
+  // bounds. Both loops advance past non-fitting machines permanently, so
+  // every placement lands on the same (user, machine) pair as flat mode.
+  std::vector<ClassCursor> cursors;
+  cursors.reserve(users.size());
+  std::sort(users.begin(), users.end());
+  for (const UserId user : users) {
+    TSF_CHECK_LT(user, users_.size());
+    ClassCursor cursor;
+    cursor.user = user;
+    cursor.class_fit.assign(classes_->num_classes(), -1);
+    cursors.push_back(std::move(cursor));
+  }
+
+  heap_.Clear();
+  heap_.Reserve(cursors.size());
+  for (std::size_t c = 0; c < cursors.size(); ++c)
+    if (users_[cursors[c].user].pending > 0)
+      heap_.PushUnordered(users_[cursors[c].user].key, c);
+  heap_.Heapify();
+
+  while (!heap_.Empty()) {
+    const RankEntry entry = heap_.PopMin();
+    TSF_COUNTER_ADD("scheduler.interleave.heap_pops", 1);
+    ClassCursor& cursor = cursors[entry.id];
+    User& u = users_[cursor.user];
+    if (u.pending <= 0) continue;
+    if (entry.key != u.key) {  // stale entry: re-rank at the current key
+      TSF_COUNTER_ADD("scheduler.interleave.stale_entries", 1);
+      heap_.Push(u.key, entry.id);
+      continue;
+    }
+    const std::size_t machine = AdvanceCursor(cursor);
+    if (machine == SIZE_MAX) continue;  // permanently out of this phase
+    TSF_CHECK(TryPlace(cursor.user, machine));
+    TSF_COUNTER_ADD("scheduler.interleave.placements", 1);
+    on_place(cursor.user, machine);
+    if (u.pending > 0) heap_.Push(u.key, entry.id);
+  }
+}
+
 void OnlineScheduler::ServeMachine(
     MachineId machine, const std::function<void(UserId, MachineId)>& on_place) {
-  std::vector<UserId>& candidates = machine_users_[machine];
+  if (classes_ != nullptr) {
+    ServeMachineCollapsed(machine, on_place);
+    return;
+  }
+  std::vector<UserId>& candidates = wait_lists_[machine];
   if (candidates.empty()) return;  // nobody waiting on this machine
   TSF_TRACE_SCOPE("scheduler", "ServeMachine");
   TSF_COUNTER_ADD("scheduler.serve_machine.calls", 1);
@@ -218,6 +401,64 @@ void OnlineScheduler::ServeMachine(
   // good, and the heap invariant is maintained by re-pushing the served
   // user at its raised key: O(log n) per placement instead of a rescan.
 
+  while (!heap_.Empty()) {
+    const RankEntry entry = heap_.PopMin();
+    TSF_COUNTER_ADD("scheduler.serve_machine.heap_pops", 1);
+    const UserId id = entry.id;
+    User& u = users_[id];
+    if (u.pending <= 0) continue;
+    if (entry.key != u.key) {  // stale entry: re-rank at the current key
+      TSF_COUNTER_ADD("scheduler.serve_machine.stale_entries", 1);
+      heap_.Push(u.key, id);
+      continue;
+    }
+    if (!free_[machine].Fits(u.demand)) continue;  // out for this phase
+    TSF_CHECK(TryPlace(id, machine));
+    TSF_COUNTER_ADD("scheduler.serve_machine.placements", 1);
+    on_place(id, machine);
+    if (u.pending > 0) heap_.Push(u.key, id);
+  }
+}
+
+void OnlineScheduler::ServeMachineCollapsed(
+    MachineId machine, const std::function<void(UserId, MachineId)>& on_place) {
+  std::vector<DemandBucket>& buckets =
+      class_buckets_[classes_->class_of(machine)];
+  if (buckets.empty()) return;  // nobody waiting on this class
+  TSF_TRACE_SCOPE("scheduler", "ServeMachine");
+  TSF_COUNTER_ADD("scheduler.serve_machine.calls", 1);
+
+  // Candidate construction, bucket by bucket: one Fits test per demand
+  // shape retires or admits the whole bucket (members share the demand
+  // vector byte-exactly, so their verdicts are identical to the flat
+  // per-user tests). Admitted buckets compact exactly like the flat wait
+  // list — retired/drained out, a member of a partially-eligible class
+  // stays listed for its class but only enters the heap for machines it is
+  // actually eligible on — so the heap holds exactly the flat path's
+  // candidate set. Non-fitting buckets are untouched: on a full machine a
+  // serve costs O(demand shapes), not O(queue pressure).
+  heap_.Clear();
+  std::size_t scanned = 0;
+  for (DemandBucket& bucket : buckets) {
+    if (!free_[machine].Fits(demands_[bucket.demand_id])) continue;
+    scanned += bucket.users.size();
+    std::size_t keep = 0;
+    for (const UserId id : bucket.users) {
+      const User& u = users_[id];
+      if (u.retired || u.pending <= 0) continue;
+      bucket.users[keep++] = id;
+      if (!u.elig->machines.Test(machine)) continue;
+      heap_.PushUnordered(u.key, id);
+    }
+    TSF_COUNTER_ADD("scheduler.serve_machine.wait_list_compacted",
+                    static_cast<std::int64_t>(bucket.users.size() - keep));
+    bucket.users.resize(keep);
+  }
+  TSF_HISTOGRAM_RECORD("scheduler.serve_machine.wait_list", scanned);
+  heap_.Heapify();
+
+  // Identical serve loop to the flat path: ascending (key, id), stale
+  // entries re-ranked, a failed fit is final for the phase.
   while (!heap_.Empty()) {
     const RankEntry entry = heap_.PopMin();
     TSF_COUNTER_ADD("scheduler.serve_machine.heap_pops", 1);

@@ -24,14 +24,29 @@
 // implementation as an executable spec; the differential tests assert
 // placement-for-placement identity between the two.
 //
+// Collapsed mode (trace scale): constructed with a MachineClassIndex, the
+// scheduler keeps its bookkeeping per machine *class* instead of per
+// machine — one wait list per class, a stale-high free-capacity upper
+// bound per class that prunes whole classes from placement scans, and
+// resumable bitset cursors instead of materialized machine lists. Placement
+// decisions still test the exact per-machine free vector, so the emitted
+// placement stream is bit-identical to the flat path; only the work spent
+// finding each placement shrinks from O(machines) to O(classes). Flat mode
+// (the two-argument constructor) is byte-for-byte the legacy code path and
+// serves as the A/B baseline.
+//
 // The on_place callbacks must not mutate the scheduler (no AddUser /
 // AddPending / OnTaskFinish re-entry): both serve loops assume keys only
 // grow and capacity only shrinks within a phase.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "core/eligibility.h"
 #include "core/online/policy.h"
 #include "core/online/ranker.h"
 #include "core/resource.h"
@@ -40,11 +55,14 @@
 namespace tsf {
 
 using UserId = std::size_t;
-using MachineId = std::size_t;
 
 struct OnlineUserSpec {
   ResourceVector demand;   // normalized per-task demand
   DynamicBitset eligible;  // over the scheduler's machines
+  // Interned alternative to `eligible`: when set, it wins and `eligible` is
+  // ignored (collapsed-mode callers share one compiled set across users
+  // carrying the same constraint — see core/eligibility.h).
+  EligibilityHandle eligible_set;
   double weight = 1.0;
   double h = 0.0;  // unconstrained monopoly tasks (TSF denominator)
   double g = 0.0;  // constrained monopoly tasks (CDRF denominator)
@@ -54,12 +72,19 @@ struct OnlineUserSpec {
 class OnlineScheduler {
  public:
   // `machine_capacity` is the normalized configuration vector per machine.
+  // Flat mode: every structure is per-machine (the legacy layout).
   OnlineScheduler(std::vector<ResourceVector> machine_capacity,
                   OnlinePolicy policy);
+
+  // Collapsed mode when `classes` is non-null (must outlive the scheduler
+  // and index the same machines); flat mode when null.
+  OnlineScheduler(std::vector<ResourceVector> machine_capacity,
+                  OnlinePolicy policy, const MachineClassIndex* classes);
 
   std::size_t num_machines() const { return free_.size(); }
   std::size_t num_users() const { return users_.size(); }
   const OnlinePolicy& policy() const { return policy_; }
+  bool collapsed() const { return classes_ != nullptr; }
 
   // Registers a user; ids are dense and assigned in call order (which is
   // what FIFO ranks by).
@@ -123,7 +148,8 @@ class OnlineScheduler {
  private:
   struct User {
     ResourceVector demand;
-    DynamicBitset eligible;
+    EligibilityHandle elig;  // shared across users with equal constraints
+    std::uint32_t demand_id = 0;  // interned demand shape (collapsed mode)
     double weight = 1.0;
     double h = 0.0;
     double g = 0.0;
@@ -137,8 +163,49 @@ class OnlineScheduler {
     bool retired = false;
   };
 
+  // Resumable per-user scan for the collapsed interleaved loop: `next` is a
+  // machine-id position into the user's eligibility bitset (no materialized
+  // machine vector), `class_fit` memoizes per-class "no member can fit"
+  // verdicts, final for the phase because the class upper bounds cannot
+  // shrink while it runs.
+  struct ClassCursor {
+    UserId user = 0;
+    std::size_t next = 0;
+    std::vector<signed char> class_fit;  // -1 unknown, 0 never fits, 1 maybe
+  };
+
+  // Waiting users of one class sharing one demand shape. Demands come from
+  // a small menu in trace workloads, so a machine serve tests Fits once per
+  // bucket instead of once per waiting user — a serve on a full machine
+  // costs O(demand shapes), not O(queue pressure).
+  struct DemandBucket {
+    std::uint32_t demand_id = 0;
+    std::vector<UserId> users;
+  };
+
   // True and debits resources if one task of `user` fits on `machine`.
   bool TryPlace(UserId user, MachineId machine);
+
+  // Pushes `id` onto the wait list (flat: per eligible machine) or demand
+  // bucket (collapsed: per eligible class) its eligibility covers.
+  void RegisterWaiting(UserId id);
+
+  // Dense id for a demand vector, byte-exact (collapsed mode only).
+  std::uint32_t InternDemand(const ResourceVector& demand);
+
+  void ServeMachineCollapsed(MachineId machine,
+                             const std::function<void(UserId, MachineId)>& on_place);
+
+  void PlaceUserGreedyCollapsed(UserId user,
+                                const std::function<void(MachineId)>& on_place);
+  void PlaceUsersInterleavedCollapsed(
+      std::vector<UserId> users,
+      const std::function<void(UserId, MachineId)>& on_place);
+
+  // Advances `cursor` to its next placeable machine (exact fit test, classes
+  // pruned via the upper bounds). Returns that machine, or SIZE_MAX when the
+  // cursor is exhausted for this phase.
+  std::size_t AdvanceCursor(ClassCursor& cursor);
 
   void UpdateKey(User& u) {
     if (policy_.kind != OnlinePolicy::Kind::kFifo)
@@ -150,10 +217,34 @@ class OnlineScheduler {
   std::vector<ResourceVector> capacity_;  // pristine copy, for RestoreMachine
   std::vector<bool> down_;                // crashed machines (chaos hooks)
   std::vector<User> users_;
-  // Per-machine wait lists: users with queued tasks, eligible on the
-  // machine. Lazily compacted by ServeMachine as users drain or retire;
-  // AddPending re-registers a drained user that gets new tasks.
-  std::vector<std::vector<UserId>> machine_users_;
+  // Null in flat mode; non-null switches every per-machine sweep to the
+  // class-level structures below.
+  const MachineClassIndex* classes_ = nullptr;
+  // Flat mode: per-machine wait lists of users with queued tasks. Lazily
+  // compacted by ServeMachine as users drain or retire; AddPending
+  // re-registers a drained user that gets new tasks. Empty in collapsed
+  // mode (class_buckets_ takes over).
+  std::vector<std::vector<UserId>> wait_lists_;
+  // --- collapsed-mode state ----------------------------------------------
+  // Per-class free-capacity upper bound: ub[c] >= free_[m] componentwise for
+  // every member m, maintained stale-high (credits grow it via componentwise
+  // max, debits leave it untouched) so a failed ub.Fits(demand) proves no
+  // member fits. Greedy scans that visit a whole class commit the observed
+  // max back, re-tightening the bound.
+  std::vector<ResourceVector> class_ub_;
+  // Per-class wait lists, sharded by demand shape (see DemandBucket). The
+  // same lazy-compaction and duplicate-tolerance rules as wait_lists_
+  // apply, bucket by bucket.
+  std::vector<std::vector<DemandBucket>> class_buckets_;
+  std::vector<ResourceVector> demands_;  // by demand id
+  std::unordered_map<std::string, std::uint32_t> demand_ids_;
+  // Per-scan scratch for PlaceUserGreedyCollapsed, epoch-versioned so a new
+  // scan resets lazily in O(classes touched).
+  std::uint32_t scan_epoch_ = 0;
+  std::vector<std::uint32_t> class_scan_epoch_;
+  std::vector<signed char> class_scan_fit_;
+  std::vector<std::uint32_t> class_visited_;
+  std::vector<ResourceVector> class_observed_;
   // Scratch heap reused across serve phases (capacity persists).
   RankHeap heap_;
   // Sum of every user's pending count (retired users included; they only

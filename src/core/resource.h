@@ -112,6 +112,14 @@ class ResourceVector {
     return m;
   }
 
+  // Componentwise max-update: this_r = max(this_r, other_r). Maintains the
+  // stale-high class upper bounds of the collapsed online scheduler.
+  void MaxWith(const ResourceVector& other) {
+    TSF_DCHECK(dimension() == other.dimension());
+    for (std::size_t r = 0; r < values_.size(); ++r)
+      values_[r] = std::max(values_[r], other.values_[r]);
+  }
+
   // How many (divisible) tasks of `demand` fit in this vector:
   //   min over r with demand_r > 0 of this_r / demand_r.
   // Returns +inf when demand is all-zero (callers reject such demands).

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
+#include <type_traits>
 
+#include "core/eligibility.h"
 #include "core/online/reference_scheduler.h"
 #include "core/online/scheduler.h"
 #include "telemetry/telemetry.h"
@@ -192,16 +195,60 @@ SimResult SimulateWith(const Workload& workload, const OnlinePolicy& policy,
                        static_cast<std::uint32_t>(machine), generation});
   };
 
+  // Class-collapse decision: only the incremental core has a collapsed
+  // engine; the reference core is the flat executable spec. kAuto counts
+  // classes with the cheap hash-only pass (no member bitsets) so degenerate
+  // clusters — every machine distinct — skip index construction entirely.
+  bool collapsed = false;
+  if constexpr (std::is_same_v<Scheduler, OnlineScheduler>) {
+    switch (options.cluster_mode) {
+      case ClusterMode::kFlat:
+        break;
+      case ClusterMode::kCollapsed:
+        collapsed = true;
+        break;
+      case ClusterMode::kAuto:
+        collapsed =
+            2 * MachineClassIndex::CountClasses(cluster) <= cluster.num_machines();
+        break;
+    }
+  }
+  std::optional<MachineClassIndex> class_index;
+  std::optional<EligibilityPool> elig_pool;
+  // Classes of each capacity group, for the collapsed monopoly sweep.
+  std::vector<std::vector<std::uint32_t>> group_classes;
+  if (collapsed) {
+    class_index.emplace(cluster);
+    elig_pool.emplace(cluster, *class_index);
+    group_classes.resize(class_index->num_capacity_groups());
+    for (std::size_t c = 0; c < class_index->num_classes(); ++c)
+      group_classes[class_index->group_of_class(c)].push_back(
+          static_cast<std::uint32_t>(c));
+    TSF_COUNTER_ADD("des.collapsed_runs", 1);
+  }
+
   std::vector<ResourceVector> capacity;
   capacity.reserve(cluster.num_machines());
   for (MachineId m = 0; m < cluster.num_machines(); ++m)
     capacity.push_back(cluster.NormalizedCapacity(m));
-  const std::vector<CapacityGroup> config_groups = GroupByCapacity(capacity);
-  Scheduler scheduler(std::move(capacity), policy);
+  // Flat-mode monopoly sweep inputs; the collapsed sweep reads the class
+  // index's identical (order and all) capacity groups instead.
+  const std::vector<CapacityGroup> config_groups =
+      collapsed ? std::vector<CapacityGroup>{} : GroupByCapacity(capacity);
+  Scheduler scheduler = [&] {
+    if constexpr (std::is_same_v<Scheduler, OnlineScheduler>) {
+      return Scheduler(std::move(capacity), policy,
+                       collapsed ? &*class_index : nullptr);
+    } else {
+      return Scheduler(std::move(capacity), policy);
+    }
+  }();
 
   // Workloads draw constraints from a small pool (a handful of attribute
   // combos in the Google mix), so compile each distinct constraint once and
-  // reuse the bitset instead of probing every machine per arrival.
+  // reuse the bitset instead of probing every machine per arrival. The
+  // collapsed path interns through the EligibilityPool instead (hash-consed
+  // and shared with the scheduler's users — no per-job bitset copies).
   std::vector<std::pair<const Constraint*, DynamicBitset>> eligibility_memo;
   auto eligibility_for = [&](const Constraint& constraint) {
     for (const auto& [cached, bits] : eligibility_memo)
@@ -345,25 +392,55 @@ SimResult SimulateWith(const Workload& workload, const OnlinePolicy& policy,
       const SimJob& job = workload.jobs[j];
       OnlineUserSpec spec;
       spec.demand = cluster.NormalizedDemand(job.spec.demand);
-      spec.eligible = eligibility_for(job.spec.constraint);
-      TSF_CHECK(spec.eligible.Any())
-          << "job " << job.spec.name << " has no eligible machine";
       spec.weight = job.spec.weight;
-      const bool fits_somewhere =
-          spec.eligible.ForEachSetUntil([&](std::size_t m) {
-            return cluster.machine(m).capacity.Fits(job.spec.demand);
-          });
-      TSF_CHECK(fits_somewhere)
-          << "job " << job.spec.name
-          << ": no eligible machine can hold one task — it would never finish";
       spec.h = 0.0;
       spec.g = 0.0;
-      for (const CapacityGroup& group : config_groups) {
-        const double tasks = group.capacity.DivisibleTaskCount(spec.demand);
-        spec.h += group.count * tasks;
-        const auto eligible_members =
-            static_cast<double>(spec.eligible.CountAnd(group.members));
-        if (eligible_members > 0.0) spec.g += eligible_members * tasks;
+      if (collapsed) {
+        spec.eligible_set = elig_pool->Intern(job.spec.constraint);
+        const EligibilitySet& elig = *spec.eligible_set;
+        TSF_CHECK(elig.machines.Any())
+            << "job " << job.spec.name << " has no eligible machine";
+        // Capacity is class-uniform: probing one representative per eligible
+        // class decides the same predicate as the flat per-machine scan.
+        const bool fits_somewhere =
+            elig.classes.ForEachSetUntil([&](std::size_t c) {
+              return cluster.machine(class_index->representative(c))
+                  .capacity.Fits(job.spec.demand);
+            });
+        TSF_CHECK(fits_somewhere)
+            << "job " << job.spec.name
+            << ": no eligible machine can hold one task — it would never finish";
+        // Identical group partition, order, and arithmetic as the flat
+        // sweep below: per-group eligible counts are exact integer sums of
+        // the per-class counts, so h and g come out bitwise equal.
+        for (std::size_t g = 0; g < group_classes.size(); ++g) {
+          const double tasks =
+              class_index->group_capacity(g).DivisibleTaskCount(spec.demand);
+          spec.h += class_index->group_machine_count(g) * tasks;
+          std::uint64_t eligible_members = 0;
+          for (const std::uint32_t c : group_classes[g])
+            eligible_members += elig.class_count[c];
+          if (eligible_members > 0)
+            spec.g += static_cast<double>(eligible_members) * tasks;
+        }
+      } else {
+        spec.eligible = eligibility_for(job.spec.constraint);
+        TSF_CHECK(spec.eligible.Any())
+            << "job " << job.spec.name << " has no eligible machine";
+        const bool fits_somewhere =
+            spec.eligible.ForEachSetUntil([&](std::size_t m) {
+              return cluster.machine(m).capacity.Fits(job.spec.demand);
+            });
+        TSF_CHECK(fits_somewhere)
+            << "job " << job.spec.name
+            << ": no eligible machine can hold one task — it would never finish";
+        for (const CapacityGroup& group : config_groups) {
+          const double tasks = group.capacity.DivisibleTaskCount(spec.demand);
+          spec.h += group.count * tasks;
+          const auto eligible_members =
+              static_cast<double>(spec.eligible.CountAnd(group.members));
+          if (eligible_members > 0.0) spec.g += eligible_members * tasks;
+        }
       }
       spec.pending = job.spec.num_tasks;
       JobState& js = state[j];

@@ -98,6 +98,16 @@ struct SimStreamEvent {
   std::uint32_t attempt = 0;
 };
 
+// How the simulator models the machine set. kAuto collapses identical
+// machines into equivalence classes (core/cluster.h MachineClassIndex) when
+// that pays off — 2 * classes <= machines — and stays flat otherwise;
+// kFlat forces the legacy per-machine structures (the A/B baseline behind
+// bench_scale's --flat_cluster); kCollapsed forces the class-level engine.
+// The emitted placement stream is bit-identical across all three — only
+// the work spent per scheduling decision changes. The reference core
+// (SimCore::kReference) is always flat: it is the executable spec.
+enum class ClusterMode { kAuto, kFlat, kCollapsed };
+
 // Optional observability knobs; the default runs exactly as before.
 struct SimOptions {
   // Virtual-time period of the fairness timeline sampler (seconds); 0
@@ -115,6 +125,9 @@ struct SimOptions {
   // When set, every state transition is appended here (the placement stream
   // of the golden-determinism tests and the chaos invariant checkers).
   std::vector<SimStreamEvent>* stream = nullptr;
+
+  // Machine-set representation (see ClusterMode above).
+  ClusterMode cluster_mode = ClusterMode::kAuto;
 };
 
 // Which scheduling core drives the simulation. kIncremental is the

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "util/check.h"
 #include "util/rng.h"
@@ -107,7 +108,8 @@ long SampleJobSize(Rng& rng) {
 
 }  // namespace
 
-Cluster SampleGoogleCluster(std::size_t num_machines, std::uint64_t seed) {
+Cluster SampleGoogleCluster(std::size_t num_machines, std::uint64_t seed,
+                            std::size_t num_attribute_profiles) {
   TSF_CHECK_GT(num_machines, 0u);
   Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
   std::vector<double> platform_weights;
@@ -116,16 +118,33 @@ Cluster SampleGoogleCluster(std::size_t num_machines, std::uint64_t seed) {
   const std::vector<double> class_weights(std::begin(kClassPopularity),
                                           std::end(kClassPopularity));
 
-  Cluster cluster;
-  for (std::size_t m = 0; m < num_machines; ++m) {
-    const Platform& platform = kPlatforms[rng.WeightedIndex(platform_weights)];
+  // One attribute draw from the shared incidence model: the machine's class
+  // (modeled as an attribute beyond the plain 21) plus the 21 coin flips.
+  auto sample_attributes = [&]() {
     AttributeSet attributes;
-    // The machine's class is modeled as an attribute beyond the plain 21.
     const auto machine_class = rng.WeightedIndex(class_weights);
     attributes.Add(static_cast<AttributeId>(kNumAttributes + machine_class));
     for (std::size_t a = 0; a < kNumAttributes; ++a)
       if (rng.Chance(kAttributeIncidence[a]))
         attributes.Add(static_cast<AttributeId>(a));
+    return attributes;
+  };
+
+  // Trace-scale mode: pre-sample a profile menu, then hand each machine a
+  // whole profile (see GoogleTraceConfig::num_attribute_profiles).
+  std::vector<AttributeSet> profiles;
+  profiles.reserve(num_attribute_profiles);
+  for (std::size_t p = 0; p < num_attribute_profiles; ++p)
+    profiles.push_back(sample_attributes());
+
+  Cluster cluster;
+  for (std::size_t m = 0; m < num_machines; ++m) {
+    const Platform& platform = kPlatforms[rng.WeightedIndex(platform_weights)];
+    AttributeSet attributes =
+        profiles.empty()
+            ? sample_attributes()
+            : profiles[static_cast<std::size_t>(
+                  rng.Int(0, static_cast<std::int64_t>(profiles.size()) - 1))];
     cluster.AddMachine(ResourceVector{platform.cores, platform.ram_gb},
                        std::move(attributes));
   }
@@ -139,8 +158,35 @@ Workload SynthesizeGoogleWorkload(const GoogleTraceConfig& config) {
   TSF_CHECK_GT(config.runtime_scale, 0.0);
 
   Workload workload;
-  workload.cluster = SampleGoogleCluster(config.num_machines, config.seed);
+  workload.cluster = SampleGoogleCluster(config.num_machines, config.seed,
+                                         config.num_attribute_profiles);
   const Cluster& cluster = workload.cluster;
+
+  // Schedulability probes (the constraint-relaxation loop below) are
+  // O(machines) each; on a class-collapsed fleet one representative per
+  // class answers the same predicate — capacity and attributes are
+  // class-uniform — turning the loop O(classes). The verdicts are exactly
+  // equal, so generated workloads do not depend on which path ran.
+  std::optional<MachineClassIndex> class_index;
+  if (2 * MachineClassIndex::CountClasses(cluster) <= cluster.num_machines())
+    class_index.emplace(cluster);
+  auto schedulable_on = [&](const Constraint& candidate,
+                            const ResourceVector& demand) {
+    if (class_index.has_value()) {
+      for (std::size_t c = 0; c < class_index->num_classes(); ++c) {
+        const Machine& probe = cluster.machine(class_index->representative(c));
+        if (candidate.Allows(probe.id, probe.attributes) &&
+            probe.capacity.Fits(demand))
+          return true;
+      }
+      return false;
+    }
+    bool fits = false;
+    cluster.Eligibility(candidate).ForEachSet([&](std::size_t m) {
+      fits = fits || cluster.machine(m).capacity.Fits(demand);
+    });
+    return fits;
+  };
 
   Rng rng(config.seed);
   const std::vector<double> class_weights(std::begin(kClassPopularity),
@@ -206,14 +252,7 @@ Workload SynthesizeGoogleWorkload(const GoogleTraceConfig& config) {
       // (fractional monopoly counts are not enough — the simulator places
       // whole tasks). Drop the rarest requirement until that holds (mirrors
       // a user relaxing an impossible request; rare at these incidences).
-      auto schedulable = [&](const Constraint& candidate) {
-        bool fits = false;
-        cluster.Eligibility(candidate).ForEachSet([&](std::size_t m) {
-          fits = fits || cluster.machine(m).capacity.Fits(spec.demand);
-        });
-        return fits;
-      };
-      while (!schedulable(constraint)) {
+      while (!schedulable_on(constraint, spec.demand)) {
         std::vector<AttributeId> ids = constraint.required_attributes().ids();
         if (ids.size() <= 1) {  // nothing left to relax: run anywhere
           constraint = Constraint::None();

@@ -58,6 +58,16 @@ struct GoogleTraceConfig {
   // regime where policies cannot differ).
   double runtime_scale = 1.0;
 
+  // Trace-scale fleets: when > 0, machines draw their whole attribute set
+  // from a menu of this many pre-sampled profiles (each sampled from the
+  // same incidence model) instead of 21 i.i.d. per-machine coin flips. The
+  // i.i.d. draws make nearly every machine unique, which is fine at 1000
+  // machines but defeats equivalence-class collapse at 10k-100k; a profile
+  // menu caps the fleet at ~(10 platforms x profiles) classes while keeping
+  // the marginal attribute statistics. 0 (the default) is the legacy
+  // behavior, bit-identical to previous releases.
+  std::size_t num_attribute_profiles = 0;
+
   std::uint64_t seed = 1;
 };
 
@@ -66,8 +76,11 @@ inline constexpr std::size_t kNumAttributes = 21;
 // Machine classes (attribute ids kNumAttributes..kNumAttributes+3).
 inline constexpr std::size_t kNumMachineClasses = 4;
 
-// Builds the cluster only (machine shapes + attributes).
-Cluster SampleGoogleCluster(std::size_t num_machines, std::uint64_t seed);
+// Builds the cluster only (machine shapes + attributes). See
+// GoogleTraceConfig::num_attribute_profiles for the last parameter; 0
+// reproduces the historical per-machine i.i.d. attribute draws.
+Cluster SampleGoogleCluster(std::size_t num_machines, std::uint64_t seed,
+                            std::size_t num_attribute_profiles = 0);
 
 // Builds the full workload: cluster + jobs sorted by arrival.
 Workload SynthesizeGoogleWorkload(const GoogleTraceConfig& config);

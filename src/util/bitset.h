@@ -145,6 +145,20 @@ class DynamicBitset {
     return size_;
   }
 
+  // Index of the first set bit >= from, or size() if none. Lets callers keep
+  // a resumable cursor over the set bits without materializing them.
+  std::size_t FindNextSet(std::size_t from) const {
+    if (from >= size_) return size_;
+    std::size_t wi = from >> 6;
+    std::uint64_t w = words_[wi] & (~std::uint64_t{0} << (from & 63));
+    for (;;) {
+      if (w != 0)
+        return wi * 64 + static_cast<std::size_t>(std::countr_zero(w));
+      if (++wi == words_.size()) return size_;
+      w = words_[wi];
+    }
+  }
+
  private:
   // SetAll may set bits beyond size_ in the last word; clear them so Count
   // and comparisons stay exact.

@@ -37,7 +37,8 @@ std::string HashHex(std::uint64_t hash) {
   return buffer;
 }
 
-// key -> hash, where key is "des <policy> seed=<s>" or "mesos seed=<s>".
+// key -> hash, where key is "des <policy> seed=<s>", "des-collapsed
+// <policy> seed=<s>", or "mesos seed=<s>".
 std::map<std::string, std::string> ComputeHashes() {
   std::map<std::string, std::string> hashes;
   for (const std::uint64_t seed : kSeeds) {
@@ -50,6 +51,27 @@ std::map<std::string, std::string> ComputeHashes() {
           << ToString(report.violations.front());
       hashes["des " + policy.name + " seed=" + std::to_string(seed)] =
           HashHex(report.stream_hash);
+    }
+    // Collapsed-cluster scenarios: the uniform workloads collapse into a
+    // few multi-member equivalence classes. The forced-collapsed stream is
+    // the pinned golden; the forced-flat run must match it exactly (the
+    // bit-identity contract of the class engine, checked here on every run).
+    const DesScenario uniform = RandomUniformDesScenario(seed);
+    for (const OnlinePolicy& policy : AllOnlinePolicies()) {
+      const ScenarioReport collapsed =
+          RunDesScenario(uniform.workload, policy, uniform.plan,
+                         SimCore::kIncremental, ClusterMode::kCollapsed);
+      const ScenarioReport flat =
+          RunDesScenario(uniform.workload, policy, uniform.plan,
+                         SimCore::kIncremental, ClusterMode::kFlat);
+      EXPECT_TRUE(collapsed.ok())
+          << "collapsed " << policy.name << " seed " << seed << ": "
+          << ToString(collapsed.violations.front());
+      EXPECT_EQ(collapsed.stream_hash, flat.stream_hash)
+          << "collapsed and flat streams diverged for " << policy.name
+          << " seed " << seed;
+      hashes["des-collapsed " + policy.name + " seed=" + std::to_string(seed)] =
+          HashHex(collapsed.stream_hash);
     }
     const ScenarioReport mesos = RunMesosScenario(RandomMesosScenario(seed));
     EXPECT_TRUE(mesos.ok())

@@ -12,9 +12,14 @@
 #             (skipped with a note if clang-format is not installed)
 #   bench     perf-regression smoke: build benchmarks, gate via
 #             tools/bench_regression.sh (skipped if no baseline committed)
+#   scale     trace-scale smoke: bench_scale 10k-machine collapsed/flat
+#             lanes gated against BENCH_scale.json
+#             (tools/bench_scale_gate.sh; skipped without a baseline)
 #   fuzz      chaos fuzz smoke: tools/fuzz_scenarios --smoke (64 seeded
 #             fault-injected scenarios, every policy, invariants armed)
-#             plus the injected-bug harness self-test
+#             plus the injected-bug harness self-test, then the same smoke
+#             with the equivalence-class engine forced on
+#             (--cluster_mode=collapsed)
 #
 # Usage:
 #   tools/analyze.sh              run every step
@@ -27,7 +32,7 @@ set -u
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
 cd "$repo_root"
 
-steps="${*:-release asan tsan tidy lint format bench fuzz}"
+steps="${*:-release asan tsan tidy lint format bench scale fuzz}"
 results=""
 failed=0
 
@@ -77,14 +82,24 @@ run_step() {
         tools/bench_regression.sh build
       fi
       ;;
+    scale)
+      if [ ! -f BENCH_scale.json ]; then
+        echo "no committed baseline (BENCH_scale.json); skipping scale gate"
+      else
+        cmake --preset release -DTSF_BUILD_BENCH=ON &&
+        cmake --build --preset release --target bench_scale -j "$(nproc)" &&
+        tools/bench_scale_gate.sh build
+      fi
+      ;;
     fuzz)
       cmake --preset release &&
       cmake --build --preset release --target fuzz_scenarios -j "$(nproc)" &&
       build/tools/fuzz_scenarios --smoke &&
-      build/tools/fuzz_scenarios --smoke --inject_bug=leak_task_on_crash
+      build/tools/fuzz_scenarios --smoke --inject_bug=leak_task_on_crash &&
+      build/tools/fuzz_scenarios --smoke --cluster_mode=collapsed
       ;;
     *)
-      echo "unknown step: $step (known: release asan tsan tidy lint format bench fuzz)" >&2
+      echo "unknown step: $step (known: release asan tsan tidy lint format bench scale fuzz)" >&2
       return 2
       ;;
   esac

@@ -35,6 +35,32 @@ baseline="$repo_root/BENCH_core.json"
 fresh="$repo_root/BENCH_core.json.new"
 tolerance="${TSF_BENCH_TOLERANCE_PCT:-10}"
 
+# Refuses perf numbers from an unoptimized binary: a debug-built baseline
+# once slipped in and made every release run look like a huge speedup while
+# real regressions hid under it. bench_perf_core stamps tsf_build_type from
+# its own NDEBUG; library_build_type only describes how libbenchmark was
+# compiled (debug on some distro packages even for optimized builds), so it
+# is merely the fallback for results predating the stamp.
+check_release_build() {
+  if ! python3 - "$1" <<'EOF'
+import json, sys
+ctx = json.load(open(sys.argv[1])).get("context", {})
+bt = ctx.get("tsf_build_type", ctx.get("library_build_type", "unknown"))
+if bt != "release":
+    print(f"error: benchmark run reports build type '{bt}' — refusing to gate"
+          " or record perf numbers from a non-release build.", file=sys.stderr)
+    print("build the release preset first:", file=sys.stderr)
+    print("  cmake --preset release && "
+          "cmake --build --preset release --target bench_perf_core -j",
+          file=sys.stderr)
+    sys.exit(1)
+EOF
+  then
+    rm -f "$1"
+    exit 1
+  fi
+}
+
 if [ ! -x "$bench" ]; then
   echo "error: benchmark binary $bench is missing or not executable." >&2
   echo "build it first:" >&2
@@ -52,6 +78,7 @@ if [ ! -f "$baseline" ]; then
   fi
   "$bench" --benchmark_format=console \
            --benchmark_out="$fresh" --benchmark_out_format=json
+  check_release_build "$fresh"
   mv "$fresh" "$baseline"
   echo "no baseline to diff against; created $baseline (--init)"
   exit 0
@@ -59,6 +86,7 @@ fi
 
 "$bench" --benchmark_format=console \
          --benchmark_out="$fresh" --benchmark_out_format=json
+check_release_build "$fresh"
 
 if python3 - "$baseline" "$fresh" "$tolerance" <<'EOF'
 import json, sys

@@ -78,6 +78,9 @@ int main(int argc, char** argv) {
        {"first_seed", "first seed (default 1)"},
        {"smoke", "CI smoke lane: cap seeds at 64"},
        {"substrate", "des | mesos | both (default both)"},
+       {"cluster_mode",
+        "auto | flat | collapsed — DES machine-set representation "
+        "(default auto)"},
        {"repro_dir", "directory for repro files of failing scenarios"},
        {"inject_bug",
         "none | leak_task_on_crash — plant a bug and require the harness "
@@ -87,6 +90,16 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(flags.GetInt("first_seed", 1));
   if (flags.GetBool("smoke", false)) seeds = std::min<std::size_t>(seeds, 64);
   const std::string substrate = flags.GetString("substrate", "both");
+  const std::string mode_name = flags.GetString("cluster_mode", "auto");
+  tsf::ClusterMode cluster_mode = tsf::ClusterMode::kAuto;
+  if (mode_name == "flat") {
+    cluster_mode = tsf::ClusterMode::kFlat;
+  } else if (mode_name == "collapsed") {
+    cluster_mode = tsf::ClusterMode::kCollapsed;
+  } else {
+    TSF_CHECK(mode_name == "auto")
+        << "unknown cluster mode '" << mode_name << "'";
+  }
   const std::string repro_dir = flags.GetString("repro_dir", "");
   const std::string inject_bug = flags.GetString("inject_bug", "none");
   const bool run_des = substrate == "both" || substrate == "des";
@@ -104,30 +117,45 @@ int main(int argc, char** argv) {
 
   for (std::uint64_t seed = first_seed; seed < first_seed + seeds; ++seed) {
     if (run_des && !bug_armed) {  // the injectable bug lives in the master
-      const tsf::chaos::DesScenario scenario =
-          tsf::chaos::RandomDesScenario(seed);
-      for (const tsf::OnlinePolicy& policy :
-           tsf::chaos::AllOnlinePolicies()) {
-        ++scenarios;
-        const ScenarioReport report = tsf::chaos::RunDesScenario(
-            scenario.workload, policy, scenario.plan);
-        if (report.ok()) continue;
-        std::printf("FAIL des seed=%llu policy=%s: %s\n",
-                    static_cast<unsigned long long>(seed), policy.name.c_str(),
-                    tsf::chaos::ToString(report.violations.front()).c_str());
-        Repro repro;
-        repro.substrate = "des";
-        repro.scenario_seed = seed;
-        repro.policy = policy.name;
-        failures.push_back(Shrink(
-            repro, scenario.plan,
-            [&](const FaultPlan& candidate) {
-              return !tsf::chaos::RunDesScenario(scenario.workload, policy,
-                                                 candidate)
-                          .ok();
-            },
-            tsf::chaos::ToString(report.violations.front())));
-        WriteRepro(repro_dir, failures.back(), failures.size());
+      // Two DES generators: the legacy all-distinct clusters and the
+      // class-collapsible uniform clusters, where the equivalence-class
+      // scheduler engages (under --cluster_mode=collapsed it is forced on
+      // both).
+      const struct {
+        const char* substrate;
+        tsf::chaos::DesScenario scenario;
+      } des_lanes[] = {
+          {"des", tsf::chaos::RandomDesScenario(seed)},
+          {"des-uniform", tsf::chaos::RandomUniformDesScenario(seed)},
+      };
+      for (const auto& lane : des_lanes) {
+        for (const tsf::OnlinePolicy& policy :
+             tsf::chaos::AllOnlinePolicies()) {
+          ++scenarios;
+          const ScenarioReport report = tsf::chaos::RunDesScenario(
+              lane.scenario.workload, policy, lane.scenario.plan,
+              tsf::SimCore::kIncremental, cluster_mode);
+          if (report.ok()) continue;
+          std::printf("FAIL %s seed=%llu policy=%s: %s\n", lane.substrate,
+                      static_cast<unsigned long long>(seed),
+                      policy.name.c_str(),
+                      tsf::chaos::ToString(report.violations.front()).c_str());
+          Repro repro;
+          repro.substrate = lane.substrate;
+          repro.scenario_seed = seed;
+          repro.policy = policy.name;
+          repro.cluster_mode = mode_name;
+          failures.push_back(Shrink(
+              repro, lane.scenario.plan,
+              [&](const FaultPlan& candidate) {
+                return !tsf::chaos::RunDesScenario(
+                            lane.scenario.workload, policy, candidate,
+                            tsf::SimCore::kIncremental, cluster_mode)
+                            .ok();
+              },
+              tsf::chaos::ToString(report.violations.front())));
+          WriteRepro(repro_dir, failures.back(), failures.size());
+        }
       }
     }
     if (run_mesos) {

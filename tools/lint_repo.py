@@ -279,6 +279,14 @@ SELF_TEST_CASES = [
       "src/b/b.h": '#pragma once\n#include "a/a.h"\n'}),
     (rule_pragma_once,
      {"src/core/thing.h": "struct T {};\n"}),
+    (rule_entry_point_checks,  # the interning pool is a core entry point:
+     {"src/core/eligibility.cc":  # an unchecked Intern must be flagged
+      "EligibilityHandle EligibilityPool::Intern(const Constraint& c) {\n"
+      "  return Compile(c);\n}\n"}),
+    (rule_telemetry_macros,  # collapsed-scheduler hot path: raw telemetry
+     {"src/core/online/scheduler.cc":  # objects (not the TSF_* macros) leak
+      "void OnlineScheduler::ServeMachineCollapsed() {\n"  # overhead into
+      "  telemetry::Registry::Get();\n}\n"}),  # every serve
 ]
 
 # Synthetic trees that must stay CLEAN — guards against over-matching.
@@ -301,6 +309,16 @@ SELF_TEST_CLEAN = [
       'void Trace() { TSF_TRACE_SCOPE("lp", "Solve"); }\n'}),
     (rule_entry_point_checks,
      {"src/core/thing.cc": "void Api(int x) { TSF_CHECK(x > 0); }\n"}),
+    (rule_entry_point_checks,  # the real pool validates at the boundary
+     {"src/core/eligibility.cc":
+      "EligibilityHandle EligibilityPool::Intern(const Constraint& c) {\n"
+      "  TSF_CHECK_GT(cluster_->num_machines(), 0u);\n"
+      "  return Compile(c);\n}\n"}),
+    (rule_telemetry_macros,  # macro-only instrumentation in the collapsed
+     {"src/core/online/scheduler.cc":  # serve/greedy hot paths is fine
+      "void OnlineScheduler::ServeMachineCollapsed() {\n"
+      '  TSF_COUNTER_ADD("scheduler.greedy.class_skips", 1);\n'
+      '  TSF_HISTOGRAM_RECORD("scheduler.serve_machine.wait_list", 1);\n}\n'}),
     (rule_include_cycles,
      {"src/a/a.h": '#pragma once\n#include "b/b.h"\n',
       "src/b/b.h": '#pragma once\n'}),
