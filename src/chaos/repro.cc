@@ -99,7 +99,7 @@ Repro ParseRepro(const std::string& text) {
   return repro;
 }
 
-std::vector<Violation> ReplayRepro(const Repro& repro) {
+ScenarioReport ReplayReproReport(const Repro& repro) {
   const ScopedInjectedBug armed(BugFromString(repro.injected_bug));
   if (IsDesSubstrate(repro.substrate)) {
     const Workload workload =
@@ -110,15 +110,18 @@ std::vector<Violation> ReplayRepro(const Repro& repro) {
       if (policy.name == repro.policy)
         return RunDesScenario(workload, policy, repro.plan,
                               SimCore::kIncremental,
-                              ModeFromString(repro.cluster_mode))
-            .violations;
+                              ModeFromString(repro.cluster_mode));
     TSF_CHECK(false) << "unknown policy '" << repro.policy << "'";
     return {};
   }
   TSF_CHECK_EQ(repro.substrate, "mesos");
   MesosScenario scenario = RandomMesosScenario(repro.scenario_seed);
   scenario.plan = repro.plan;
-  return RunMesosScenario(scenario).violations;
+  return RunMesosScenario(scenario);
+}
+
+std::vector<Violation> ReplayRepro(const Repro& repro) {
+  return ReplayReproReport(repro).violations;
 }
 
 }  // namespace tsf::chaos

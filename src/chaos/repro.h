@@ -14,6 +14,7 @@
 
 #include "chaos/fault_plan.h"
 #include "chaos/invariants.h"
+#include "chaos/scenario.h"
 
 namespace tsf::chaos {
 
@@ -42,9 +43,13 @@ std::string SerializeRepro(const Repro& repro);
 Repro ParseRepro(const std::string& text);
 
 // Rebuilds the scenario from the seed, arms the injected bug (and disarms
-// it afterwards), runs the plan, and returns the violations observed — an
-// intact repro returns a non-empty list iff a bug (injected or real) is
-// still present.
+// it afterwards), runs the plan, and returns the full scenario report: the
+// recorded event stream, its hash, and the violations observed. An intact
+// repro reports a non-empty violation list iff a bug (injected or real) is
+// still present; the stream is what tools/viz_repro renders.
+ScenarioReport ReplayReproReport(const Repro& repro);
+
+// Convenience wrapper: just the violations of ReplayReproReport.
 std::vector<Violation> ReplayRepro(const Repro& repro);
 
 }  // namespace tsf::chaos

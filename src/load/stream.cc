@@ -1,0 +1,189 @@
+#include "load/stream.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "core/constraint.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace tsf::load {
+
+namespace {
+
+// Raw arrival instants in [0, duration), nondecreasing.
+std::vector<double> ArrivalTimes(const StreamSpec& spec, Rng& rng) {
+  std::vector<double> times;
+  switch (spec.shape) {
+    case ArrivalShape::kPoisson: {
+      for (double t = rng.Exponential(spec.rate); t < spec.duration;
+           t += rng.Exponential(spec.rate))
+        times.push_back(t);
+      break;
+    }
+    case ArrivalShape::kBurst: {
+      TSF_CHECK(spec.burst_period > 0.0);
+      TSF_CHECK(spec.burst_width > 0.0 &&
+                spec.burst_width <= spec.burst_period);
+      // Draw a Poisson process at the mean rate, then compress each period's
+      // arrivals into its leading burst_width. The map is monotonic, so the
+      // stream stays sorted and keeps its mean rate.
+      const double squeeze = spec.burst_width / spec.burst_period;
+      for (double t = rng.Exponential(spec.rate); t < spec.duration;
+           t += rng.Exponential(spec.rate)) {
+        const double period_start =
+            std::floor(t / spec.burst_period) * spec.burst_period;
+        times.push_back(period_start + (t - period_start) * squeeze);
+      }
+      break;
+    }
+    case ArrivalShape::kUniform: {
+      const double gap = 1.0 / spec.rate;
+      for (double t = 0.0; t < spec.duration; t += gap) times.push_back(t);
+      break;
+    }
+  }
+  return times;
+}
+
+// A whitelist of ceil(fraction * num_machines) distinct machines, sampled
+// without replacement (deterministic in the stream rng).
+std::vector<MachineId> SampleWhitelist(double fraction,
+                                       std::size_t num_machines, Rng& rng) {
+  auto want = static_cast<std::size_t>(
+      std::ceil(fraction * static_cast<double>(num_machines)));
+  want = std::clamp<std::size_t>(want, 1, num_machines);
+  std::vector<MachineId> machines(num_machines);
+  for (std::size_t m = 0; m < num_machines; ++m) machines[m] = m;
+  rng.Shuffle(machines);
+  machines.resize(want);
+  return machines;
+}
+
+}  // namespace
+
+std::vector<MixClass> DefaultMix() {
+  std::vector<MixClass> mix(3);
+  mix[0].name = "mice";
+  mix[0].weight = 0.6;
+  mix[0].min_tasks = 1;
+  mix[0].max_tasks = 4;
+  mix[0].demand = ResourceVector{1.0, 1024.0};
+  mix[0].mean_runtime = 4.0;
+  mix[1].name = "batch";
+  mix[1].weight = 0.3;
+  mix[1].min_tasks = 8;
+  mix[1].max_tasks = 24;
+  mix[1].demand = ResourceVector{1.0, 1536.0};
+  mix[1].mean_runtime = 8.0;
+  mix[1].constrained_prob = 0.5;
+  mix[1].whitelist_fraction = 0.5;
+  mix[2].name = "elephant";
+  mix[2].weight = 0.1;
+  mix[2].min_tasks = 32;
+  mix[2].max_tasks = 64;
+  mix[2].demand = ResourceVector{2.0, 2048.0};
+  mix[2].mean_runtime = 12.0;
+  mix[2].constrained_prob = 0.75;
+  mix[2].whitelist_fraction = 0.25;
+  return mix;
+}
+
+Cluster MakeLoadCluster(std::size_t num_machines) {
+  TSF_CHECK(num_machines > 0);
+  Cluster cluster;
+  for (std::size_t m = 0; m < num_machines; ++m) {
+    const bool big = m % 2 == 0;
+    cluster.AddMachine(big ? ResourceVector{4.0, 8192.0}
+                           : ResourceVector{2.0, 2048.0},
+                       {}, (big ? "big" : "small") + std::to_string(m));
+  }
+  return cluster;
+}
+
+std::vector<mesos::SlaveSpec> MakeLoadSlaves(std::size_t num_machines) {
+  TSF_CHECK(num_machines > 0);
+  std::vector<mesos::SlaveSpec> slaves(num_machines);
+  for (std::size_t m = 0; m < num_machines; ++m) {
+    const bool big = m % 2 == 0;
+    slaves[m].capacity =
+        big ? ResourceVector{4.0, 8192.0} : ResourceVector{2.0, 2048.0};
+    slaves[m].name = (big ? "big" : "small") + std::to_string(m);
+  }
+  return slaves;
+}
+
+GeneratedStream GenerateArrivals(const StreamSpec& spec,
+                                 std::size_t num_machines) {
+  TSF_CHECK(spec.rate > 0.0);
+  TSF_CHECK(spec.duration > 0.0);
+  TSF_CHECK(num_machines > 0);
+  const std::vector<MixClass> mix =
+      spec.mix.empty() ? DefaultMix() : spec.mix;
+  std::vector<double> weights;
+  weights.reserve(mix.size());
+  for (const MixClass& cls : mix) {
+    TSF_CHECK(cls.weight >= 0.0);
+    TSF_CHECK(0 < cls.min_tasks && cls.min_tasks <= cls.max_tasks);
+    TSF_CHECK(cls.mean_runtime > 0.0);
+    TSF_CHECK(0.0 <= cls.runtime_jitter && cls.runtime_jitter < 1.0);
+    weights.push_back(cls.weight);
+  }
+
+  Rng rng(spec.seed);
+  GeneratedStream stream;
+  stream.mix = mix;
+  stream.class_names.reserve(mix.size());
+  for (const MixClass& cls : mix) stream.class_names.push_back(cls.name);
+
+  for (const double arrival : ArrivalTimes(spec, rng)) {
+    const std::size_t c = rng.WeightedIndex(weights);
+    const MixClass& cls = mix[c];
+    SimJob job;
+    job.spec.id = stream.jobs.size();
+    job.spec.name =
+        cls.name + "_" + std::to_string(stream.jobs.size());
+    job.spec.demand = cls.demand;
+    job.spec.weight = 1.0;
+    job.spec.num_tasks = rng.Int(cls.min_tasks, cls.max_tasks);
+    job.spec.arrival_time = arrival;
+    job.spec.mean_task_runtime = cls.mean_runtime;
+    if (cls.constrained_prob > 0.0 && rng.Chance(cls.constrained_prob))
+      job.spec.constraint = Constraint::Whitelist(
+          SampleWhitelist(cls.whitelist_fraction, num_machines, rng));
+    job.task_runtimes.reserve(static_cast<std::size_t>(job.spec.num_tasks));
+    for (long t = 0; t < job.spec.num_tasks; ++t)
+      job.task_runtimes.push_back(
+          cls.mean_runtime *
+          rng.Uniform(1.0 - cls.runtime_jitter, 1.0 + cls.runtime_jitter));
+    stream.class_of.push_back(static_cast<std::uint32_t>(c));
+    stream.jobs.push_back(std::move(job));
+  }
+  TSF_CHECK(!stream.jobs.empty())
+      << "stream spec produced no arrivals (rate * duration too small)";
+  return stream;
+}
+
+std::vector<mesos::FrameworkSpec> ToFrameworks(const GeneratedStream& stream) {
+  TSF_CHECK(stream.class_of.size() == stream.jobs.size());
+  std::vector<mesos::FrameworkSpec> frameworks;
+  frameworks.reserve(stream.jobs.size());
+  for (std::size_t j = 0; j < stream.jobs.size(); ++j) {
+    const SimJob& job = stream.jobs[j];
+    mesos::FrameworkSpec fw;
+    fw.name = job.spec.name;
+    fw.start_time = job.spec.arrival_time;
+    fw.num_tasks = job.spec.num_tasks;
+    fw.demand = job.spec.demand;
+    fw.mean_runtime = job.spec.mean_task_runtime;
+    fw.runtime_jitter = stream.mix.at(stream.class_of[j]).runtime_jitter;
+    fw.weight = job.spec.weight;
+    if (job.spec.constraint.kind() == Constraint::Kind::kWhitelist)
+      fw.whitelist = job.spec.constraint.machine_list();
+    frameworks.push_back(std::move(fw));
+  }
+  return frameworks;
+}
+
+}  // namespace tsf::load

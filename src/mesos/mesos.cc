@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <deque>
 #include <limits>
 #include <queue>
 
@@ -61,6 +63,14 @@ struct FrameworkState {
   // .declined); resolved once at registration, incremented when enabled.
   telemetry::Counter* accepted_counter = nullptr;
   telemetry::Counter* declined_counter = nullptr;
+  // Per-framework time-to-placement histogram (mesos.ttp_ms.<name>, in ms)
+  // and the pending-since FIFO behind it: registration enqueues one entry
+  // per task, a launch consumes the oldest, kills/failures re-enqueue.
+  // Entries arrive in nondecreasing time order, so FIFO matching is exact
+  // (the master does not preserve task identity across relaunches).
+  // Maintained only while telemetry is enabled.
+  telemetry::Histogram* ttp_hist = nullptr;
+  std::deque<double> ttp_pending_since;
 #endif
 
   bool Active() const {
@@ -212,6 +222,8 @@ SimOutcome RunCluster(const ClusterConfig& config,
         "mesos.offers." + fw.spec.name + ".accepted");
     fw.declined_counter = &telemetry::Registry::Get().GetCounter(
         "mesos.offers." + fw.spec.name + ".declined");
+    fw.ttp_hist = &telemetry::Registry::Get().GetHistogram(
+        "mesos.ttp_ms." + fw.spec.name);
 #endif
   }
 
@@ -271,6 +283,14 @@ SimOutcome RunCluster(const ClusterConfig& config,
   auto run_allocation = [&](double now) {
     TSF_TRACE_SCOPE("mesos", "offer_round");
     TSF_COUNTER_ADD("mesos.offer_rounds", 1);
+#if defined(TSF_TELEMETRY)
+    // Per-round offer-cycle latency (host wall time). Informational only —
+    // the clock reads are skipped entirely unless telemetry is enabled.
+    const bool tm_round = telemetry::Enabled();
+    const auto tm_round_start = tm_round
+                                    ? std::chrono::steady_clock::now()
+                                    : std::chrono::steady_clock::time_point{};
+#endif
     ++stats.rounds;
     {
       TSF_TRACE_SCOPE("mesos", "allocator_sort");
@@ -351,7 +371,15 @@ SimOutcome RunCluster(const ClusterConfig& config,
       ++stats.offers_accepted;
       TSF_COUNTER_ADD("mesos.offers.accepted", 1);
 #if defined(TSF_TELEMETRY)
-      if (telemetry::Enabled()) fw.accepted_counter->Add(1);
+      if (telemetry::Enabled()) {
+        fw.accepted_counter->Add(1);
+        if (!fw.ttp_pending_since.empty()) {
+          const double ttp_ms = (now - fw.ttp_pending_since.front()) * 1000.0;
+          fw.ttp_pending_since.pop_front();
+          TSF_HISTOGRAM_RECORD("mesos.time_to_placement_ms", ttp_ms);
+          fw.ttp_hist->Record(ttp_ms);
+        }
+      }
 #endif
       fw.stats.first_task_time = std::min(fw.stats.first_task_time, now);
       const double runtime = fw.spec.mean_runtime *
@@ -365,6 +393,13 @@ SimOutcome RunCluster(const ClusterConfig& config,
                         entry.id, slave, task_id});
       if (fw.HasPending()) offer_heap.Push(fw.key, entry.id);
     }
+#if defined(TSF_TELEMETRY)
+    if (tm_round) {
+      const std::chrono::duration<double, std::micro> tm_round_us =
+          std::chrono::steady_clock::now() - tm_round_start;
+      TSF_HISTOGRAM_RECORD("mesos.offer_round_us", tm_round_us.count());
+    }
+#endif
   };
 
   if (config.sample_interval > 0.0)
@@ -385,6 +420,13 @@ SimOutcome RunCluster(const ClusterConfig& config,
       switch (event.kind) {
         case Event::Kind::kRegister:
           frameworks[event.framework].registered = true;
+#if defined(TSF_TELEMETRY)
+          if (telemetry::Enabled()) {
+            FrameworkState& rfw = frameworks[event.framework];
+            for (long t = 0; t < rfw.spec.num_tasks; ++t)
+              rfw.ttp_pending_since.push_back(now);
+          }
+#endif
           emit(MasterEvent::Kind::kRegister, now, event.framework, 0, 0);
           state_changed = true;
           TSF_TRACE_INSTANT("mesos", "register");
@@ -441,6 +483,10 @@ SimOutcome RunCluster(const ClusterConfig& config,
                 --vfw.running;
                 --vfw.launched;  // re-enters the pending pool
                 vfw.UpdateKey();
+#if defined(TSF_TELEMETRY)
+                if (telemetry::Enabled())
+                  vfw.ttp_pending_since.push_back(now);
+#endif
                 emit(MasterEvent::Kind::kKill, now, rt.framework, rt.task, s);
               }
               on.clear();
@@ -479,6 +525,10 @@ SimOutcome RunCluster(const ClusterConfig& config,
               --vfw.running;
               --vfw.launched;  // re-enters the pending pool
               vfw.UpdateKey();
+#if defined(TSF_TELEMETRY)
+              if (telemetry::Enabled())
+                vfw.ttp_pending_since.push_back(now);
+#endif
               free[s] += vfw.spec.demand;
               emit(MasterEvent::Kind::kFail, now, rt.framework, rt.task, s);
               TSF_COUNTER_ADD("chaos.mesos.task_failures", 1);

@@ -43,6 +43,48 @@ void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
   for (std::size_t b = 0; b < kBuckets; ++b) buckets[b] += other.buckets[b];
 }
 
+void HistogramSnapshot::Record(double value) {
+  ++buckets[Histogram::BucketIndex(value)];
+  if (count == 0) {
+    min = value;
+    max = value;
+  } else {
+    min = std::min(min, value);
+    max = std::max(max, value);
+  }
+  ++count;
+  const double delta = value - mean;
+  mean += delta / static_cast<double>(count);
+  m2 += delta * (value - mean);
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  // Continuous rank in (0, count); the loop finds the first bucket whose
+  // cumulative count reaches it.
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    const auto before = static_cast<double>(seen);
+    seen += buckets[b];
+    if (static_cast<double>(seen) < rank) continue;
+    // Interpolate across the bucket span. Bucket 0 has no finite lower
+    // bound of its own (it holds everything below 1, negatives included),
+    // so it is anchored at the observed minimum; the top bucket's upper
+    // bound is the observed maximum.
+    double lo = b == 0 ? min : Histogram::BucketLowerBound(b);
+    double hi =
+        b + 1 < kBuckets ? Histogram::BucketLowerBound(b + 1) : max;
+    if (hi < lo) hi = lo;  // top bucket with max below the lower bound edge
+    const double frac = (rank - before) / static_cast<double>(buckets[b]);
+    return std::clamp(lo + frac * (hi - lo), min, max);
+  }
+  return max;  // unreachable unless rank rounds past the last bucket
+}
+
 double Histogram::BucketLowerBound(std::size_t bucket) {
   if (bucket == 0) return 0.0;
   return std::ldexp(1.0, static_cast<int>(bucket) - 1);  // 2^(bucket-1)

@@ -103,6 +103,27 @@ struct HistogramSnapshot {
   // from different runs) yields the exact moments of the concatenated
   // stream.
   void Merge(const HistogramSnapshot& other);
+
+  // Single-threaded accumulation for offline analysis (e.g. metrics derived
+  // from a recorded event stream): updates the moments and log-bucketed
+  // counts exactly as Histogram::Record does, minus the sharded machinery.
+  // Like FairnessSample, this is always-compiled data API, not
+  // instrumentation — it needs no TSF_TELEMETRY guard.
+  void Record(double value);
+
+  // Estimated q-quantile (q in [0, 1]) from the log-bucketed counts: finds
+  // the bucket holding rank q*count, linearly interpolates across that
+  // bucket's [lower, upper) span, and clamps into the observed [min, max].
+  //
+  // Error bound: a sample v >= 1 lands in bucket [2^(b-1), 2^b), so the
+  // estimate and the true quantile always share a bucket — the absolute
+  // error is less than the bucket width and the relative error is < 2x.
+  // The estimate is exact when every sample in the target bucket has the
+  // same value (the [min, max] clamp collapses the interpolation), which
+  // covers single-sample histograms and power-of-two boundary values.
+  // Bucket counts add exactly under Merge, so merge-then-quantile equals
+  // quantile-of-the-merged-stream. Returns 0 for an empty histogram.
+  double Quantile(double q) const;
 };
 
 // Log-bucketed histogram. Bucket 0 holds values < 1 (including negatives);

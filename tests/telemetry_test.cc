@@ -8,6 +8,7 @@
 // individually), so tests may flip the global enable flags freely.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
@@ -20,6 +21,7 @@
 #include "telemetry/telemetry.h"
 #include "telemetry/timeline.h"
 #include "telemetry/trace.h"
+#include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace tsf::telemetry {
@@ -268,6 +270,86 @@ TEST(Histogram, MergeMatchesConcatenatedStream) {
   HistogramSnapshot from_empty;
   from_empty.Merge(merged);
   ExpectMomentsNear(from_empty, merged);
+}
+
+TEST(Histogram, QuantileEmptyAndSingleSample) {
+  EXPECT_EQ(HistogramSnapshot{}.Quantile(0.5), 0.0);
+  Histogram h;
+  h.Record(7.3);
+  const HistogramSnapshot snap = h.Snapshot();
+  // One sample: the [min, max] clamp collapses the in-bucket interpolation,
+  // so every quantile is exact.
+  for (const double q : {0.0, 0.01, 0.5, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(snap.Quantile(q), 7.3) << "q=" << q;
+}
+
+TEST(Histogram, QuantileBucketBoundaryExactness) {
+  // All mass on one power-of-two boundary: the target bucket holds a single
+  // distinct value, so estimates are exact at every q.
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Record(8.0);
+  const HistogramSnapshot snap = h.Snapshot();
+  for (const double q : {0.0, 0.25, 0.5, 0.95, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(snap.Quantile(q), 8.0) << "q=" << q;
+
+  // Mass on several boundaries: extreme quantiles pin to min/max exactly,
+  // and interior estimates stay inside the true value's bucket (< 2x).
+  Histogram spread;
+  for (const double v : {1.0, 2.0, 4.0, 8.0})
+    for (int i = 0; i < 25; ++i) spread.Record(v);
+  const HistogramSnapshot s = spread.Snapshot();
+  EXPECT_DOUBLE_EQ(s.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 8.0);
+  const double p60 = s.Quantile(0.60);  // true nearest-rank value: 4
+  EXPECT_GE(p60, 2.0);
+  EXPECT_LT(p60, 8.0);
+}
+
+TEST(Histogram, QuantileWithinFactorTwoOfExact) {
+  // Log-uniform samples over [1, 2^20): the documented bound says the
+  // estimate shares a log2 bucket with the true quantile, i.e. the ratio
+  // between them is < 2 in both directions.
+  Rng rng(0x51051ULL);
+  std::vector<double> values;
+  Histogram h;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = std::exp2(rng.Uniform(0.0, 20.0));
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  const HistogramSnapshot snap = h.Snapshot();
+  for (const double q : {0.01, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999}) {
+    const double exact = values[static_cast<std::size_t>(
+        q * static_cast<double>(values.size() - 1))];
+    const double estimate = snap.Quantile(q);
+    EXPECT_LT(estimate / exact, 2.0) << "q=" << q;
+    EXPECT_GT(estimate / exact, 0.5) << "q=" << q;
+  }
+}
+
+TEST(Histogram, QuantileOfMergeEqualsQuantileOfConcatenation) {
+  // Bucket counts and min/max combine losslessly under Merge, so the
+  // merge-then-quantile path is bit-identical to recording the
+  // concatenated stream into one histogram.
+  std::vector<double> a, b;
+  Rng rng(20260807);
+  for (int i = 0; i < 1000; ++i) a.push_back(rng.Uniform(0.5, 5000.0));
+  for (int i = 0; i < 333; ++i) b.push_back(rng.Uniform(100.0, 1e7));
+  Histogram ha, hb, hall;
+  for (const double v : a) {
+    ha.Record(v);
+    hall.Record(v);
+  }
+  for (const double v : b) {
+    hb.Record(v);
+    hall.Record(v);
+  }
+  HistogramSnapshot merged = ha.Snapshot();
+  merged.Merge(hb.Snapshot());
+  const HistogramSnapshot direct = hall.Snapshot();
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(merged.Quantile(q), direct.Quantile(q)) << "q=" << q;
 }
 
 TEST(Histogram, ShardedConcurrentRecordHasExactMoments) {

@@ -20,6 +20,9 @@
 #             plus the injected-bug harness self-test, then the same smoke
 #             with the equivalence-class engine forced on
 #             (--cluster_mode=collapsed)
+#   slo       sustained-load SLO smoke: slo_report rate-1 lanes on both
+#             substrates gated against BENCH_slo.json (tools/slo_gate.sh;
+#             skipped without a baseline)
 #
 # Usage:
 #   tools/analyze.sh              run every step
@@ -32,7 +35,7 @@ set -u
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
 cd "$repo_root"
 
-steps="${*:-release asan tsan tidy lint format bench scale fuzz}"
+steps="${*:-release asan tsan tidy lint format bench scale fuzz slo}"
 results=""
 failed=0
 
@@ -98,8 +101,17 @@ run_step() {
       build/tools/fuzz_scenarios --smoke --inject_bug=leak_task_on_crash &&
       build/tools/fuzz_scenarios --smoke --cluster_mode=collapsed
       ;;
+    slo)
+      if [ ! -f BENCH_slo.json ]; then
+        echo "no committed baseline (BENCH_slo.json); skipping slo gate"
+      else
+        cmake --preset release &&
+        cmake --build --preset release --target slo_report -j "$(nproc)" &&
+        tools/slo_gate.sh build
+      fi
+      ;;
     *)
-      echo "unknown step: $step (known: release asan tsan tidy lint format bench scale fuzz)" >&2
+      echo "unknown step: $step (known: release asan tsan tidy lint format bench scale fuzz slo)" >&2
       return 2
       ;;
   esac

@@ -3,11 +3,11 @@
 
 Rules (each maps to a documented repo convention; see DESIGN.md §7):
 
-  entry-point-checks   every .cc under src/core and src/sim validates inputs
-                       with TSF_CHECK/TSF_DCHECK (Core Guidelines P.7 — the
-                       rule stated in util/check.h). Files whose entry points
-                       are data-only constructors may be allowlisted below
-                       with a justification.
+  entry-point-checks   every .cc under src/core, src/sim, and src/load
+                       validates inputs with TSF_CHECK/TSF_DCHECK (Core
+                       Guidelines P.7 — the rule stated in util/check.h).
+                       Files whose entry points are data-only constructors
+                       may be allowlisted below with a justification.
   no-stdout            library code (src/) never writes to stdout directly:
                        no std::cout, printf, puts, or fprintf(stdout, ...).
                        Diagnostics go through TSF_LOG (stderr); data goes to
@@ -18,7 +18,8 @@ Rules (each maps to a documented repo convention; see DESIGN.md §7):
                        `#if defined(TSF_TELEMETRY)` region, so
                        -DTSF_TELEMETRY=OFF truly compiles every
                        instrumentation site out. The always-compiled data
-                       API (FairnessSample & writers) is exempt.
+                       API (FairnessSample & writers, HistogramSnapshot
+                       offline accumulation) is exempt.
   include-cycles       the `#include "..."` graph over src/ headers is
                        acyclic.
   pragma-once          every header in src/, bench/, tools/ uses
@@ -53,6 +54,12 @@ TELEMETRY_DATA_API = (
     "FairnessSample",
     "WriteFairnessCsv",
     "WriteFairnessJsonl",
+    # Offline accumulation over recorded event streams (src/load driver,
+    # tools/): plain data math, no registry, compiled unconditionally.
+    # (HistogramSnapshot also escapes TELEMETRY_GUARDED_RE by construction —
+    # the Histogram\b alternative stops at the word boundary — this entry
+    # records that the escape is intentional.)
+    "HistogramSnapshot",
 )
 
 # telemetry-macros: instrumentation symbols that must stay behind the TSF_*
@@ -109,7 +116,8 @@ def rule_entry_point_checks(files):
     for path, text in sorted(files.items()):
         if not path.endswith(".cc"):
             continue
-        if not (path.startswith("src/core/") or path.startswith("src/sim/")):
+        if not (path.startswith("src/core/") or path.startswith("src/sim/")
+                or path.startswith("src/load/")):
             continue
         if path in ENTRY_POINT_CHECK_ALLOWLIST:
             continue
@@ -287,6 +295,12 @@ SELF_TEST_CASES = [
      {"src/core/online/scheduler.cc":  # objects (not the TSF_* macros) leak
       "void OnlineScheduler::ServeMachineCollapsed() {\n"  # overhead into
       "  telemetry::Registry::Get();\n}\n"}),  # every serve
+    (rule_entry_point_checks,  # the load driver is an entry point too: an
+     {"src/load/driver.cc":    # unchecked stream config must be flagged
+      "LoadReport RunDesLoad(const DriverConfig& c) { return Run(c); }\n"}),
+    (rule_telemetry_macros,  # per-policy histogram lookups in src/load must
+     {"src/load/driver.cc":  # stay inside a TSF_TELEMETRY region
+      "void Observe() { telemetry::Registry::Get().GetHistogram(\"x\"); }\n"}),
 ]
 
 # Synthetic trees that must stay CLEAN — guards against over-matching.
@@ -322,6 +336,20 @@ SELF_TEST_CLEAN = [
     (rule_include_cycles,
      {"src/a/a.h": '#pragma once\n#include "b/b.h"\n',
       "src/b/b.h": '#pragma once\n'}),
+    (rule_telemetry_macros,  # HistogramSnapshot is offline data math — the
+     {"src/load/driver.cc":  # load driver accumulates into it unguarded
+      "telemetry::HistogramSnapshot ttp;\n"
+      "void Tally(double ms) { ttp.Record(ms); }\n"}),
+    (rule_telemetry_macros,  # macro + guarded-region instrumentation in
+     {"src/load/driver.cc":  # src/load compiles out under TELEMETRY=OFF
+      '#if defined(TSF_TELEMETRY)\n'
+      "void Observe() { telemetry::Registry::Get().GetHistogram(\"x\"); }\n"
+      "#endif\n"
+      'void Tick() { TSF_HISTOGRAM_RECORD("load.ttp_ms", 1.0); }\n'}),
+    (rule_entry_point_checks,  # the real driver validates its spec up front
+     {"src/load/stream.cc":
+      "GeneratedStream GenerateArrivals(const StreamSpec& spec) {\n"
+      "  TSF_CHECK(spec.rate > 0.0);\n  return Build(spec);\n}\n"}),
 ]
 
 

@@ -1,0 +1,121 @@
+#!/usr/bin/env sh
+# SLO smoke gate: re-runs the slo_report smoke lanes (rate-1, both
+# substrates x both policies) and compares them against the committed
+# BENCH_slo.json. Every gated figure is virtual-time — a deterministic
+# function of (seed, config, policy) — so unlike the wall-clock bench gates
+# this one compares tight. Fails when
+#   * the fresh run comes from a non-release binary (JSON context check),
+#   * a smoke lane is missing from the committed baseline,
+#   * a lane's quantiles are not monotone (p50 <= p95 <= p99),
+#   * a fault-free lane did not drain (placements != tasks, requeues != 0),
+#   * a lane's placement-stream hash diverged from the baseline,
+#   * p50/p95/p99 or makespan moved beyond the tolerance.
+#
+# Usage:
+#   tools/slo_gate.sh [build-dir]
+#
+# Environment:
+#   TSF_SLO_TOLERANCE_PCT     allowed relative drift on makespan and the
+#                             ttp quantiles, in percent (default 0.5 — only
+#                             there to absorb libm differences across
+#                             toolchains; same-image CI reproduces exactly)
+#   TSF_SLO_ALLOW_HASH_DRIFT  set to 1 to demote a placement-hash mismatch
+#                             from failure to warning (cross-toolchain runs)
+set -eu
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+report="$build_dir/tools/slo_report"
+baseline="$repo_root/BENCH_slo.json"
+fresh="$repo_root/BENCH_slo.json.new"
+tolerance="${TSF_SLO_TOLERANCE_PCT:-0.5}"
+allow_hash_drift="${TSF_SLO_ALLOW_HASH_DRIFT:-0}"
+
+if [ ! -x "$report" ]; then
+  echo "error: $report is missing or not executable." >&2
+  echo "build it first:" >&2
+  echo "  cmake --preset release && cmake --build build --target slo_report -j" >&2
+  exit 1
+fi
+if [ ! -f "$baseline" ]; then
+  echo "error: no committed baseline ($baseline); run $report once" >&2
+  echo "(full sweep, default flags) and commit its output." >&2
+  exit 1
+fi
+
+"$report" --smoke --out="$fresh"
+
+if python3 - "$baseline" "$fresh" "$tolerance" "$allow_hash_drift" <<'EOF'
+import json, sys
+
+old = json.load(open(sys.argv[1]))
+new = json.load(open(sys.argv[2]))
+tolerance = float(sys.argv[3])
+allow_hash_drift = sys.argv[4] == "1"
+failures = []
+
+build_type = new.get("context", {}).get("tsf_build_type", "unknown")
+if build_type != "release":
+    failures.append(f"fresh run reports build type '{build_type}' — rebuild "
+                    "with the release preset")
+
+def drift(old_value, new_value):
+    if old_value == new_value:
+        return 0.0
+    base = max(abs(old_value), 1e-12)
+    return abs(new_value - old_value) / base * 100.0
+
+old_lanes = {l["name"]: l for l in old["lanes"]}
+print(f"{'lane':18s} {'hash':6s} {'makespan':>18s} {'p99 ms':>20s}")
+for lane in new["lanes"]:
+    name = lane["name"]
+    q = lane["ttp_ms"]
+    if not q["p50"] <= q["p95"] <= q["p99"]:
+        failures.append(f"{name}: quantiles not monotone "
+                        f"(p50={q['p50']} p95={q['p95']} p99={q['p99']})")
+    if lane["placements"] != lane["tasks"] or lane["requeues"] != 0:
+        failures.append(f"{name}: fault-free lane did not drain cleanly "
+                        f"(placements={lane['placements']} "
+                        f"tasks={lane['tasks']} requeues={lane['requeues']})")
+    if name not in old_lanes:
+        failures.append(f"{name}: missing from committed baseline — "
+                        "regenerate BENCH_slo.json")
+        continue
+    o = old_lanes[name]
+    hash_ok = o["placement_hash"] == lane["placement_hash"]
+    if not hash_ok:
+        msg = (f"{name}: placement hash {lane['placement_hash']} != baseline "
+               f"{o['placement_hash']} — the placement stream changed; if "
+               "intended, regenerate BENCH_slo.json")
+        if allow_hash_drift:
+            print(f"warning: {msg}")
+        else:
+            failures.append(msg)
+    checks = [("makespan", o["makespan"], lane["makespan"])]
+    for quantile in ("p50", "p95", "p99"):
+        checks.append((quantile, o["ttp_ms"][quantile], q[quantile]))
+    flagged = []
+    for label, old_value, new_value in checks:
+        if drift(old_value, new_value) > tolerance:
+            flagged.append(f"{label} {old_value} -> {new_value}")
+    if flagged:
+        failures.append(f"{name}: drifted beyond {tolerance:g}%: "
+                        + "; ".join(flagged))
+    print(f"{name:18s} {'ok' if hash_ok else 'DIFF':6s} "
+          f"{o['makespan']:>8.2f} ->{lane['makespan']:>8.2f} "
+          f"{o['ttp_ms']['p99']:>9.1f} ->{q['p99']:>9.1f}"
+          f"{'  << DRIFT' if flagged else ''}")
+
+if failures:
+    print("\nslo_gate: FAIL")
+    for failure in failures:
+        print(f"  {failure}")
+    sys.exit(1)
+print("\nslo_gate: PASS")
+EOF
+then
+  rm -f "$fresh"
+else
+  rm -f "$fresh"
+  exit 1
+fi

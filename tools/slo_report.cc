@@ -1,0 +1,262 @@
+// SLO observatory report: sweeps the open-loop load driver (src/load)
+// across arrival rates on both online substrates and writes BENCH_slo.json
+// with p50/p95/p99 time-to-placement, queue-depth timelines, and the
+// throughput-vs-latency curve per (substrate, policy) pair.
+//
+// Every reported figure except wall_seconds is derived from virtual time,
+// so a lane is a deterministic function of (seed, rate, machines, duration,
+// shape, policy, fault plan): tools/slo_gate.sh compares the smoke lanes
+// against the committed baseline bit-for-bit on the quantiles and the
+// placement-stream hash. --smoke restricts the sweep to the rate-1 lanes
+// with otherwise identical knobs, so smoke lanes match their full-report
+// counterparts by name and value.
+//
+// An optional --fault_plan=<file> (chaos text format, machine faults only)
+// overlays the same crash/restart program on every lane; faulted lanes are
+// suffixed "_faults" so a gate never compares them against fault-free
+// baselines.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "chaos/fault_plan.h"
+#include "load/driver.h"
+#include "load/stream.h"
+#include "util/check.h"
+#include "util/flags.h"
+
+namespace tsf::load {
+namespace {
+
+std::vector<std::string> SplitCsv(const std::string& text) {
+  std::vector<std::string> parts;
+  std::stringstream stream(text);
+  std::string part;
+  while (std::getline(stream, part, ','))
+    if (!part.empty()) parts.push_back(part);
+  return parts;
+}
+
+std::string FormatRate(double rate) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%g", rate);
+  return buffer;
+}
+
+std::string HashHex(std::uint64_t hash) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "0x%016llx",
+                static_cast<unsigned long long>(hash));
+  return buffer;
+}
+
+ArrivalShape ShapeFromString(const std::string& name) {
+  if (name == "poisson") return ArrivalShape::kPoisson;
+  if (name == "burst") return ArrivalShape::kBurst;
+  if (name == "uniform") return ArrivalShape::kUniform;
+  TSF_CHECK(false) << "unknown --shape '" << name
+                   << "' (want poisson|burst|uniform)";
+  return ArrivalShape::kPoisson;
+}
+
+void AppendSeriesJson(std::ostream& out, const LatencySeries& series) {
+  const telemetry::HistogramSnapshot& h = series.ttp_ms;
+  out << "{\"count\": " << h.count << ", \"mean\": " << h.mean
+      << ", \"min\": " << h.min << ", \"max\": " << h.max
+      << ", \"p50\": " << h.Quantile(0.50) << ", \"p95\": " << h.Quantile(0.95)
+      << ", \"p99\": " << h.Quantile(0.99) << "}";
+}
+
+void AppendLaneJson(std::ostream& out, const std::string& name,
+                    const LoadReport& report) {
+  out << "    {\"name\": \"" << name << "\", \"substrate\": \""
+      << report.substrate << "\", \"policy\": \"" << report.policy
+      << "\", \"rate\": " << report.rate << ",\n"
+      << "     \"jobs\": " << report.total_jobs
+      << ", \"tasks\": " << report.total_tasks
+      << ", \"placements\": " << report.placements
+      << ", \"requeues\": " << report.requeues
+      << ", \"makespan\": " << report.makespan
+      << ", \"wall_seconds\": " << report.wall_seconds << ",\n"
+      << "     \"throughput_tasks_per_vsec\": "
+      << (report.makespan > 0.0
+              ? static_cast<double>(report.placements) / report.makespan
+              : 0.0)
+      << ", \"placement_hash\": \"" << HashHex(report.placement_hash)
+      << "\",\n     \"ttp_ms\": ";
+  AppendSeriesJson(out, report.all);
+  out << ",\n     \"per_class\": [";
+  for (std::size_t c = 0; c < report.per_class.size(); ++c) {
+    out << (c > 0 ? ", " : "") << "{\"class\": \""
+        << report.per_class[c].label << "\", \"ttp_ms\": ";
+    AppendSeriesJson(out, report.per_class[c]);
+    out << "}";
+  }
+  out << "],\n     \"queue_depth\": [";
+  for (std::size_t i = 0; i < report.queue_depth.size(); ++i)
+    out << (i > 0 ? ", " : "") << "{\"t\": " << report.queue_depth[i].time
+        << ", \"depth\": " << report.queue_depth[i].depth << "}";
+  out << "]}";
+}
+
+int Main(int argc, char** argv) {
+  const Flags flags(
+      argc, argv,
+      {{"rates", "comma-separated arrival rates, jobs/sec (default 0.5,1,2)"},
+       {"machines", "fleet size, alternating big/small shapes (default 60)"},
+       {"duration", "arrival window in virtual seconds (default 60)"},
+       {"seed", "stream seed (default 1)"},
+       {"shape", "arrival shape: poisson|burst|uniform (default poisson)"},
+       {"substrates", "comma-separated subset of des,mesos (default both)"},
+       {"policies", "comma-separated subset of tsf,drf (default both)"},
+       {"queue_interval", "queue-depth sample period, vsec (default 1)"},
+       {"out", "output JSON path (default BENCH_slo.json)"},
+       {"fault_plan", "chaos fault-plan file overlaid on every lane"},
+       {"smoke", "run only the rate-1 lanes (CI gate subset)"}});
+  const bool smoke = flags.GetBool("smoke", false);
+  const std::string out_path = flags.GetString("out", "BENCH_slo.json");
+  const std::string shape_name = flags.GetString("shape", "poisson");
+  const std::string plan_path = flags.GetString("fault_plan", "");
+  const auto machines =
+      static_cast<std::size_t>(flags.GetInt("machines", 60));
+  const double duration = flags.GetDouble("duration", 60.0);
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+  const double queue_interval = flags.GetDouble("queue_interval", 1.0);
+
+  std::vector<double> rates;
+  for (const std::string& token :
+       SplitCsv(smoke ? "1" : flags.GetString("rates", "0.5,1,2")))
+    rates.push_back(std::stod(token));
+  const std::vector<std::string> substrates =
+      SplitCsv(flags.GetString("substrates", "des,mesos"));
+  const std::vector<std::string> policies =
+      SplitCsv(flags.GetString("policies", "tsf,drf"));
+  TSF_CHECK(!rates.empty() && !substrates.empty() && !policies.empty());
+
+  // Optional fault overlay, compiled once per substrate. Machine faults
+  // only: framework counts vary per lane, so framework-targeted kinds
+  // cannot be validated against a single plan.
+  std::vector<SimFault> des_faults;
+  std::vector<mesos::Fault> mesos_faults;
+  const bool faulted = !plan_path.empty();
+  if (faulted) {
+    std::ifstream in(plan_path);
+    TSF_CHECK(in.good()) << "cannot read fault plan " << plan_path;
+    std::stringstream text;
+    text << in.rdbuf();
+    const chaos::FaultPlan plan = chaos::ParseFaultPlan(text.str());
+    const std::string defect = chaos::ValidateFaultPlan(plan, machines, 0);
+    TSF_CHECK(defect.empty()) << "fault plan rejected: " << defect;
+    des_faults = chaos::CompileForDes(plan);
+    mesos_faults = chaos::CompileForMesos(plan);
+  }
+
+  std::vector<std::pair<std::string, LoadReport>> lanes;
+  std::printf("%-22s %7s %7s %9s %9s %9s %9s %7s\n", "lane", "jobs", "tasks",
+              "makespan", "p50 ms", "p95 ms", "p99 ms", "wall s");
+  for (const double rate : rates) {
+    DriverConfig config;
+    config.stream.rate = rate;
+    config.stream.duration = duration;
+    config.stream.seed = seed;
+    config.stream.shape = ShapeFromString(shape_name);
+    config.num_machines = machines;
+    config.queue_sample_interval = queue_interval;
+    for (const std::string& substrate : substrates) {
+      for (const std::string& policy : policies) {
+        TSF_CHECK(policy == "tsf" || policy == "drf")
+            << "unknown policy '" << policy << "' (want tsf|drf)";
+        LoadReport report;
+        if (substrate == "des") {
+          report = RunDesLoad(
+              config, policy == "tsf" ? OnlinePolicy::Tsf() : OnlinePolicy::Drf(),
+              des_faults);
+        } else {
+          TSF_CHECK(substrate == "mesos")
+              << "unknown substrate '" << substrate << "' (want des|mesos)";
+          report = RunMesosLoad(config,
+                                policy == "tsf" ? mesos::AllocatorPolicy::kTsf
+                                                : mesos::AllocatorPolicy::kDrf,
+                                mesos_faults);
+        }
+        // The driver labels DES lanes with OnlinePolicy::name; normalize to
+        // the short flag token so lane names are substrate-uniform.
+        report.policy = policy;
+        const std::string name = substrate + "_" + policy + "_r" +
+                                 FormatRate(rate) +
+                                 (faulted ? "_faults" : "");
+        std::printf("%-22s %7llu %7llu %9.2f %9.1f %9.1f %9.1f %7.3f\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(report.total_jobs),
+                    static_cast<unsigned long long>(report.total_tasks),
+                    report.makespan, report.all.ttp_ms.Quantile(0.50),
+                    report.all.ttp_ms.Quantile(0.95),
+                    report.all.ttp_ms.Quantile(0.99), report.wall_seconds);
+        std::fflush(stdout);
+        lanes.emplace_back(name, std::move(report));
+      }
+    }
+  }
+
+  std::ofstream out(out_path);
+  TSF_CHECK(out.good()) << "cannot write " << out_path;
+  out << "{\n  \"context\": {\n    \"tsf_build_type\": \""
+#ifdef NDEBUG
+      << "release"
+#else
+      << "debug"
+#endif
+      << "\",\n    \"seed\": " << seed << ",\n    \"machines\": " << machines
+      << ",\n    \"duration\": " << duration << ",\n    \"shape\": \""
+      << shape_name << "\",\n    \"queue_interval\": " << queue_interval
+      << ",\n    \"smoke\": " << (smoke ? "true" : "false")
+      << ",\n    \"fault_plan\": \"" << plan_path
+      << "\",\n    \"latency_note\": \"ttp quantiles come from 64 log-2 "
+         "buckets: relative error < 2x for values >= 1 ms, exact at bucket "
+         "boundaries and under merge\"\n  },\n  \"lanes\": [\n";
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    AppendLaneJson(out, lanes[i].first, lanes[i].second);
+    out << (i + 1 < lanes.size() ? "," : "") << "\n";
+  }
+  // The throughput-vs-latency curve per (substrate, policy): one point per
+  // rate, in sweep order. Offered load is tasks/duration (what the stream
+  // pushed), served throughput is placements/makespan (what the substrate
+  // absorbed); the p99 knee between them is the SLO story.
+  out << "  ],\n  \"curves\": [\n";
+  bool first_curve = true;
+  for (const std::string& substrate : substrates) {
+    for (const std::string& policy : policies) {
+      if (!first_curve) out << ",\n";
+      first_curve = false;
+      out << "    {\"substrate\": \"" << substrate << "\", \"policy\": \""
+          << policy << "\", \"points\": [";
+      bool first_point = true;
+      for (const auto& [name, report] : lanes) {
+        if (report.substrate != substrate || report.policy != policy) continue;
+        if (!first_point) out << ", ";
+        first_point = false;
+        out << "{\"rate\": " << report.rate << ", \"offered_tasks_per_vsec\": "
+            << (static_cast<double>(report.total_tasks) / duration)
+            << ", \"served_tasks_per_vsec\": "
+            << (report.makespan > 0.0
+                    ? static_cast<double>(report.placements) / report.makespan
+                    : 0.0)
+            << ", \"p50_ms\": " << report.all.ttp_ms.Quantile(0.50)
+            << ", \"p95_ms\": " << report.all.ttp_ms.Quantile(0.95)
+            << ", \"p99_ms\": " << report.all.ttp_ms.Quantile(0.99) << "}";
+      }
+      out << "]}";
+    }
+  }
+  out << "\n  ]\n}\n";
+  std::printf("wrote %s (%zu lanes)\n", out_path.c_str(), lanes.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace tsf::load
+
+int main(int argc, char** argv) { return tsf::load::Main(argc, argv); }

@@ -5,7 +5,11 @@
 //   telemetry_summary out/metrics.jsonl
 //
 // Counters and gauges print as aligned name/value rows; histograms add
-// mean/stddev/min/max and an ASCII sketch of the log-bucket mass.
+// mean/stddev/min/max, p50/p95/p99, and an ASCII sketch of the log-bucket
+// mass. The quantiles are reconstructed from the serialized log-2 buckets
+// via telemetry::HistogramSnapshot::Quantile, so they inherit its error
+// bound: within the rank's bucket the true and estimated quantile coincide
+// to <2x relative error for values >= 1 (see src/telemetry/metrics.h).
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -13,6 +17,8 @@
 #include <fstream>
 #include <string>
 #include <vector>
+
+#include "telemetry/metrics.h"
 
 namespace {
 
@@ -62,6 +68,27 @@ void FindBuckets(const std::string& line,
 std::string Bar(double fraction, int width) {
   const int fill = static_cast<int>(std::lround(fraction * width));
   return std::string(static_cast<std::size_t>(std::clamp(fill, 0, width)), '#');
+}
+
+// Rebuilds the in-memory snapshot from one serialized histogram line so
+// Quantile() can run on it. The writer emits bucket lower bounds: ge=0 is
+// bucket 0 (values < 1), ge=2^(b-1) is bucket b.
+tsf::telemetry::HistogramSnapshot RebuildSnapshot(
+    double count, double mean, double variance, double min, double max,
+    const std::vector<std::pair<double, double>>& buckets) {
+  tsf::telemetry::HistogramSnapshot snapshot;
+  snapshot.count = static_cast<std::uint64_t>(count);
+  snapshot.mean = mean;
+  snapshot.m2 = variance * count;
+  snapshot.min = min;
+  snapshot.max = max;
+  for (const auto& [ge, n] : buckets) {
+    const std::size_t bucket =
+        ge < 1.0 ? 0 : static_cast<std::size_t>(std::lround(std::log2(ge))) + 1;
+    if (bucket < snapshot.buckets.size())
+      snapshot.buckets[bucket] = static_cast<std::uint64_t>(n);
+  }
+  return snapshot;
 }
 
 }  // namespace
@@ -134,6 +161,12 @@ int main(int argc, char** argv) {
       std::printf("  %s\n", name.c_str());
       std::printf("    count=%.0f mean=%.4g stddev=%.4g min=%.4g max=%.4g\n",
                   count, mean, std::sqrt(variance), min, max);
+      const tsf::telemetry::HistogramSnapshot snapshot =
+          RebuildSnapshot(count, mean, variance, min, max, buckets);
+      std::printf("    p50=%.4g p95=%.4g p99=%.4g  (log-bucket estimate, "
+                  "<2x relative error for values >= 1)\n",
+                  snapshot.Quantile(0.50), snapshot.Quantile(0.95),
+                  snapshot.Quantile(0.99));
       double total = 0;
       for (const auto& [ge, n] : buckets) total += n;
       for (const auto& [ge, n] : buckets)
