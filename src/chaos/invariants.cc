@@ -4,8 +4,8 @@
 #include <cstdio>
 #include <iterator>
 #include <limits>
+#include <map>
 #include <sstream>
-#include <unordered_map>
 
 #include "util/check.h"
 
@@ -276,7 +276,12 @@ class Checker {
   std::vector<bool> arrived_;
   std::vector<bool> connected_;
   std::vector<long> finished_;
-  std::unordered_map<std::uint32_t, LiveTask> live_;
+  // Ordered by task id on purpose: the crash-survivor and leaked-task sweeps
+  // below iterate this map to emit violations, and violation order is part of
+  // the harness's deterministic contract (repro files and shrinking diff
+  // against it). An unordered_map would tie report order to the hash seed /
+  // stdlib implementation.
+  std::map<std::uint32_t, LiveTask> live_;
   std::vector<Violation> violations_;
 };
 

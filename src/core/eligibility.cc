@@ -122,6 +122,10 @@ EligibilityHandle EligibilityPool::Compile(const Constraint& constraint) const {
 
 std::size_t EligibilityPool::EvictUnused() {
   std::size_t evicted = 0;
+  // The eviction predicate is per-entry and side-effect-free: the surviving
+  // pool contents and the evicted count are identical for any iteration
+  // order, and nothing placement-visible observes the order.
+  // NOLINT-determinism(order-independent eviction sweep)
   for (auto it = pool_.begin(); it != pool_.end();) {
     if (it->second.use_count() == 1) {
       it = pool_.erase(it);

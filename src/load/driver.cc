@@ -111,10 +111,14 @@ LoadReport RunDesLoad(const DriverConfig& config, const OnlinePolicy& policy,
   options.stream = &events;
   options.faults = std::move(faults);
 
+  // wall_seconds is a reporting-only measurement; every placement-affecting
+  // quantity below derives from virtual-time events.
+  // NOLINT-determinism(reporting-only wall-clock measurement)
   const auto wall_start = std::chrono::steady_clock::now();
   const SimResult result =
       Simulate(workload, policy, SimCore::kIncremental, options);
   report.wall_seconds =
+      // NOLINT-determinism(reporting-only wall-clock measurement)
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
@@ -188,10 +192,14 @@ LoadReport RunMesosLoad(const DriverConfig& config,
   options.faults = std::move(faults);
   options.stream = &events;
 
+  // wall_seconds is a reporting-only measurement; every placement-affecting
+  // quantity below derives from virtual-time events.
+  // NOLINT-determinism(reporting-only wall-clock measurement)
   const auto wall_start = std::chrono::steady_clock::now();
   const mesos::SimOutcome outcome =
       mesos::RunCluster(cluster, frameworks, options);
   report.wall_seconds =
+      // NOLINT-determinism(reporting-only wall-clock measurement)
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();

@@ -3,11 +3,12 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
-#include <mutex>
+#include <mutex>  // std::call_once
 #include <optional>
 
 #include "telemetry/telemetry.h"
 #include "util/check.h"
+#include "util/mutex.h"
 
 namespace tsf {
 
@@ -19,7 +20,7 @@ void RunSeeds(const WorkloadFactory& factory,
   TSF_CHECK(!policies.empty());
   TSF_CHECK_GT(num_seeds, 0u);
   const std::size_t num_policies = policies.size();
-  std::mutex reduce_mutex;
+  Mutex reduce_mutex;
 
   // One slot per seed; every (seed, policy) cell is an independent pool
   // task, so a slow policy on one seed no longer serializes the others.
@@ -83,7 +84,7 @@ void RunSeeds(const WorkloadFactory& factory,
 #endif
     if (slot.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       {
-        const std::lock_guard lock(reduce_mutex);
+        const MutexLock lock(reduce_mutex);
         reduce(seed, slot.results);
       }
       // Discard the seed's workload and results to bound memory.

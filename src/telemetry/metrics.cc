@@ -142,7 +142,7 @@ Registry& Registry::Get() {
 }
 
 Counter& Registry::GetCounter(std::string_view name) {
-  const std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end())
     it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
@@ -150,7 +150,7 @@ Counter& Registry::GetCounter(std::string_view name) {
 }
 
 Gauge& Registry::GetGauge(std::string_view name) {
-  const std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end())
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -158,7 +158,7 @@ Gauge& Registry::GetGauge(std::string_view name) {
 }
 
 Histogram& Registry::GetHistogram(std::string_view name) {
-  const std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end())
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
@@ -167,7 +167,7 @@ Histogram& Registry::GetHistogram(std::string_view name) {
 }
 
 MetricsSnapshot Registry::Snapshot() const {
-  const std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   MetricsSnapshot snapshot;
   snapshot.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_)
@@ -272,7 +272,7 @@ bool Registry::WriteJsonlSnapshot(const std::string& path) const {
 }
 
 void Registry::ResetForTest() {
-  const std::lock_guard lock(mutex_);
+  const MutexLock lock(mutex_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

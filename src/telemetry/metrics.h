@@ -21,10 +21,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "telemetry/spinlock.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace tsf::telemetry {
 
@@ -142,13 +145,13 @@ class Histogram {
 
  private:
   struct alignas(64) Shard {
-    mutable std::atomic_flag lock = ATOMIC_FLAG_INIT;  // guards the moments
-    std::uint64_t count = 0;
-    double mean = 0.0;
-    double m2 = 0.0;
-    double min = 0.0;
-    double max = 0.0;
-    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+    mutable SpinLock lock;  // guards the Welford moments below
+    std::uint64_t count TSF_GUARDED_BY(lock) = 0;
+    double mean TSF_GUARDED_BY(lock) = 0.0;
+    double m2 TSF_GUARDED_BY(lock) = 0.0;
+    double min TSF_GUARDED_BY(lock) = 0.0;
+    double max TSF_GUARDED_BY(lock) = 0.0;
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};  // lock-free
   };
   std::array<Shard, internal::kShards> shards_;
 };
@@ -188,10 +191,13 @@ class Registry {
  private:
   Registry() = default;
 
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      TSF_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      TSF_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      TSF_GUARDED_BY(mutex_);
 };
 
 // Appends a JSON-escaped copy of `text` (quotes excluded) to `out`.

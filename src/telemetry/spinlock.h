@@ -1,33 +1,55 @@
-// RAII guard for the telemetry layer's std::atomic_flag spinlocks.
+// Annotated spinlock for the telemetry layer's hot paths.
 //
-// The hot-path locks in metrics.cc (per-shard Welford moments) and trace.cc
+// The locks in metrics.cc (per-shard Welford moments) and trace.cc
 // (per-thread ring buffers) are designed to be uncontended — a spin is the
-// rare case — so a test_and_set/clear pair is the whole protocol. This guard
-// keeps the pair exception-safe and impossible to mismatch: acquire in the
-// constructor (acquire ordering, so guarded reads see the previous holder's
-// writes), release in the destructor (release ordering, publishing ours).
+// rare case — so a test_and_set/clear pair is the whole protocol. SpinLock
+// declares that atomic_flag as a thread-safety capability
+// (util/thread_annotations.h) so fields marked TSF_GUARDED_BY(lock) are
+// compile-time checked under the `analysis` preset, and SpinGuard keeps the
+// acquire/release pair exception-safe and impossible to mismatch: acquire in
+// the constructor (acquire ordering, so guarded reads see the previous
+// holder's writes), release in the destructor (release ordering, publishing
+// ours).
 //
-// telemetry has no repo dependencies (util links it PUBLIC), so this lives
-// here rather than in src/util.
+// telemetry has no repo *link* dependencies (util links it PUBLIC);
+// util/thread_annotations.h is a dependency-free macro header, which is why
+// including it here does not invert the layering.
 #pragma once
 
 #include <atomic>
 
+#include "util/thread_annotations.h"
+
 namespace tsf::telemetry {
 
-class [[nodiscard]] SpinGuard {
+class TSF_CAPABILITY("spinlock") SpinLock {
  public:
-  explicit SpinGuard(std::atomic_flag& flag) : flag_(flag) {
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void Acquire() TSF_ACQUIRE() {
     while (flag_.test_and_set(std::memory_order_acquire)) {
     }
   }
-  ~SpinGuard() { flag_.clear(std::memory_order_release); }
+  void Release() TSF_RELEASE() { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+class [[nodiscard]] TSF_SCOPED_CAPABILITY SpinGuard {
+ public:
+  explicit SpinGuard(SpinLock& lock) TSF_ACQUIRE(lock) : lock_(lock) {
+    lock_.Acquire();
+  }
+  ~SpinGuard() TSF_RELEASE() { lock_.Release(); }
 
   SpinGuard(const SpinGuard&) = delete;
   SpinGuard& operator=(const SpinGuard&) = delete;
 
  private:
-  std::atomic_flag& flag_;
+  SpinLock& lock_;
 };
 
 }  // namespace tsf::telemetry

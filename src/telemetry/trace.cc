@@ -8,7 +8,9 @@
 #include <cstdio>
 #include <map>
 #include <memory>
-#include <mutex>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace tsf::telemetry {
 
@@ -29,20 +31,22 @@ std::int64_t SteadyNowNs() {
 // Ring buffer owned by the tracer, written by exactly one thread (plus the
 // occasional cross-thread drain/clear, hence the spinlock).
 struct Tracer::ThreadBuffer {
-  std::atomic_flag lock = ATOMIC_FLAG_INIT;
-  std::vector<TraceRecord> ring;
-  std::size_t next = 0;      // write cursor
-  std::size_t count = 0;     // live records (<= ring.size())
-  std::uint64_t dropped = 0; // overwritten records
-  std::uint32_t tid = 0;
+  SpinLock lock;
+  std::vector<TraceRecord> ring TSF_GUARDED_BY(lock);
+  std::size_t next TSF_GUARDED_BY(lock) = 0;   // write cursor
+  std::size_t count TSF_GUARDED_BY(lock) = 0;  // live records (<= ring size)
+  std::uint64_t dropped TSF_GUARDED_BY(lock) = 0;  // overwritten records
+  std::uint32_t tid = 0;  // const after registration in LocalBuffer
 };
 
 namespace {
 
 struct TracerState {
-  std::mutex mutex;  // guards buffers/interned registration only
-  std::vector<std::unique_ptr<Tracer::ThreadBuffer>> buffers;
-  std::map<std::string, std::unique_ptr<std::string>, std::less<>> interned;
+  Mutex mutex;  // guards buffers/interned registration only
+  std::vector<std::unique_ptr<Tracer::ThreadBuffer>> buffers
+      TSF_GUARDED_BY(mutex);
+  std::map<std::string, std::unique_ptr<std::string>, std::less<>> interned
+      TSF_GUARDED_BY(mutex);
 };
 
 TracerState& State() {
@@ -61,10 +65,15 @@ Tracer::ThreadBuffer& Tracer::LocalBuffer() {
   thread_local ThreadBuffer* buffer = nullptr;
   if (buffer == nullptr) {
     TracerState& state = State();
-    const std::lock_guard lock(state.mutex);
+    const MutexLock lock(state.mutex);
     auto owned = std::make_unique<ThreadBuffer>();
     owned->tid = static_cast<std::uint32_t>(state.buffers.size() + 1);
-    owned->ring.resize(capacity_);
+    {
+      // Not shared yet, but the ring is TSF_GUARDED_BY(lock): acquire the
+      // (uncontended) spinlock so the analysis sees a disciplined write.
+      const SpinGuard guard(owned->lock);
+      owned->ring.resize(capacity_);
+    }
     buffer = owned.get();
     state.buffers.push_back(std::move(owned));
   }
@@ -73,7 +82,7 @@ Tracer::ThreadBuffer& Tracer::LocalBuffer() {
 
 void Tracer::Start(std::size_t events_per_thread) {
   TracerState& state = State();
-  const std::lock_guard lock(state.mutex);
+  const MutexLock lock(state.mutex);
   capacity_ = events_per_thread == 0 ? 1 : events_per_thread;
   for (auto& buffer : state.buffers) {
     const SpinGuard guard(buffer->lock);
@@ -149,7 +158,7 @@ void Tracer::RecordCounter(const char* category, const char* name,
 
 const char* Tracer::Intern(std::string_view name) {
   TracerState& state = State();
-  const std::lock_guard lock(state.mutex);
+  const MutexLock lock(state.mutex);
   auto it = state.interned.find(name);
   if (it == state.interned.end())
     it = state.interned
@@ -160,7 +169,7 @@ const char* Tracer::Intern(std::string_view name) {
 
 std::size_t Tracer::BufferedRecords() const {
   TracerState& state = State();
-  const std::lock_guard lock(state.mutex);
+  const MutexLock lock(state.mutex);
   std::size_t total = 0;
   for (const auto& buffer : state.buffers) {
     const SpinGuard guard(buffer->lock);
@@ -171,7 +180,7 @@ std::size_t Tracer::BufferedRecords() const {
 
 std::uint64_t Tracer::DroppedRecords() const {
   TracerState& state = State();
-  const std::lock_guard lock(state.mutex);
+  const MutexLock lock(state.mutex);
   std::uint64_t total = 0;
   for (const auto& buffer : state.buffers) {
     const SpinGuard guard(buffer->lock);
@@ -189,7 +198,7 @@ bool Tracer::WriteChromeTrace(const std::string& path) const {
   std::uint64_t dropped = 0;
   {
     TracerState& state = State();
-    const std::lock_guard lock(state.mutex);
+    const MutexLock lock(state.mutex);
     for (const auto& buffer : state.buffers) {
       const SpinGuard guard(buffer->lock);
       const std::size_t size = buffer->ring.size();

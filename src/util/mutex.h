@@ -1,0 +1,74 @@
+// Annotated mutex / condition-variable wrappers.
+//
+// Every sleeping lock in the repo is a tsf::Mutex held through a
+// tsf::MutexLock — never a bare std::mutex — so clang's thread-safety
+// analysis (util/thread_annotations.h, the `analysis` preset) can see every
+// acquisition and check TSF_GUARDED_BY fields. The lock-discipline lint in
+// tools/lint_repo.py rejects raw std::mutex/std::lock_guard/std::unique_lock
+// outside this header, which keeps the discipline enforced even on hosts
+// whose compiler ignores the annotations.
+//
+// CondVar waits are written as explicit predicate loops
+// (`while (!pred) cv.Wait(lock);`) rather than the std::condition_variable
+// predicate overload: the predicate then reads guarded fields inside the
+// annotated caller, where the analysis can prove the lock is held.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace tsf {
+
+class CondVar;
+
+// A std::mutex declared as a thread-safety capability. Lock/Unlock exist for
+// the analysis and for the rare manual protocol; prefer MutexLock.
+class TSF_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() TSF_ACQUIRE() { mu_.lock(); }
+  void Unlock() TSF_RELEASE() { mu_.unlock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+// RAII scoped acquisition of a Mutex. Holds a std::unique_lock underneath so
+// CondVar::Wait can release/reacquire during a sleep.
+class TSF_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) TSF_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() TSF_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+// Condition variable bound to MutexLock. Wait atomically releases the lock
+// while sleeping and reacquires it before returning, so from the caller's
+// (and the analysis') point of view the capability is held across the call.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+  void NotifyOne() noexcept { cv_.notify_one(); }
+  void NotifyAll() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace tsf

@@ -1,0 +1,68 @@
+// Clang thread-safety-analysis (annotalysis) macros.
+//
+// These wrap clang's capability attributes so lock discipline is checked at
+// compile time under `-Wthread-safety` (the `analysis` CMake preset turns it
+// on with -Werror); on every other compiler they expand to nothing. The
+// vocabulary mirrors the C++ capability model:
+//
+//   TSF_CAPABILITY("mutex")   a type whose instances are lockable things
+//   TSF_SCOPED_CAPABILITY     an RAII type that acquires in its constructor
+//                             and releases in its destructor
+//   TSF_GUARDED_BY(mu)        a field readable/writable only while mu is held
+//   TSF_PT_GUARDED_BY(mu)     like GUARDED_BY, for the pointee of a pointer
+//   TSF_REQUIRES(mu)          a function callable only while mu is held
+//   TSF_ACQUIRE(mu)/TSF_RELEASE(mu)  a function that takes / drops mu
+//   TSF_EXCLUDES(mu)          a function that must NOT be called holding mu
+//
+// Every mutex-shaped object in the repo goes through the annotated wrappers
+// (util/mutex.h for sleeping locks, telemetry/spinlock.h for spinlocks); the
+// lock-discipline lint in tools/lint_repo.py enforces that, so the analysis
+// sees every acquisition even on gcc-only development hosts.
+//
+// This header is dependency-free on purpose: telemetry (which otherwise has
+// no repo dependencies) includes it for the spinlock annotations.
+#pragma once
+
+#if defined(__clang__)
+#define TSF_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define TSF_THREAD_ANNOTATION_ATTRIBUTE_(x)  // no-op off clang
+#endif
+
+#define TSF_CAPABILITY(x) TSF_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
+
+#define TSF_SCOPED_CAPABILITY TSF_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+
+#define TSF_GUARDED_BY(x) TSF_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+
+#define TSF_PT_GUARDED_BY(x) TSF_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+#define TSF_ACQUIRED_BEFORE(...) \
+  TSF_THREAD_ANNOTATION_ATTRIBUTE_(acquired_before(__VA_ARGS__))
+
+#define TSF_ACQUIRED_AFTER(...) \
+  TSF_THREAD_ANNOTATION_ATTRIBUTE_(acquired_after(__VA_ARGS__))
+
+#define TSF_REQUIRES(...) \
+  TSF_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+
+#define TSF_ACQUIRE(...) \
+  TSF_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+
+#define TSF_RELEASE(...) \
+  TSF_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+
+#define TSF_TRY_ACQUIRE(...) \
+  TSF_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_capability(__VA_ARGS__))
+
+#define TSF_EXCLUDES(...) \
+  TSF_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+#define TSF_ASSERT_CAPABILITY(x) \
+  TSF_THREAD_ANNOTATION_ATTRIBUTE_(assert_capability(x))
+
+#define TSF_RETURN_CAPABILITY(x) \
+  TSF_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+
+#define TSF_NO_THREAD_SAFETY_ANALYSIS \
+  TSF_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)

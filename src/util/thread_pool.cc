@@ -19,29 +19,31 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    const MutexLock lock(mutex_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (auto& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   TSF_CHECK(task != nullptr);
   {
-    std::lock_guard lock(mutex_);
+    const MutexLock lock(mutex_);
     TSF_CHECK(!shutting_down_) << "Submit after shutdown";
     queue_.push_back(std::move(task));
     ++in_flight_;
     TSF_GAUGE_SET("threadpool.queue_depth", queue_.size());
     TSF_COUNTER_ADD("threadpool.tasks_submitted", 1);
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  // Explicit predicate loop (not the cv predicate overload) so the guarded
+  // read of in_flight_ happens here, where the analysis sees the lock held.
+  while (in_flight_ != 0) all_done_.Wait(lock);
 }
 
 void ThreadPool::ParallelFor(std::size_t n,
@@ -65,9 +67,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      work_available_.wait(lock,
-                           [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!shutting_down_ && queue_.empty()) work_available_.Wait(lock);
       if (queue_.empty()) return;  // shutting down
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -75,9 +76,9 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard lock(mutex_);
+      const MutexLock lock(mutex_);
       --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+      if (in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }

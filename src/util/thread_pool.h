@@ -8,13 +8,14 @@
 // each index owns its slot in the output vector.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace tsf {
 
@@ -44,12 +45,12 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  std::size_t in_flight_ = 0;
-  bool shutting_down_ = false;
+  Mutex mutex_;
+  std::deque<std::function<void()>> queue_ TSF_GUARDED_BY(mutex_);
+  CondVar work_available_;
+  CondVar all_done_;
+  std::size_t in_flight_ TSF_GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ TSF_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace tsf

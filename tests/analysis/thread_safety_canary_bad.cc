@@ -1,0 +1,58 @@
+// Thread-safety analysis canary — the KNOWN-BAD half.
+//
+// tools/check_thread_safety.sh compiles this file with clang
+// `-Wthread-safety -Werror=thread-safety` and requires it to FAIL: every
+// function below breaks lock discipline in a way the analysis must catch
+// (unguarded access to a TSF_GUARDED_BY field, calling a TSF_REQUIRES
+// function without the lock, a forgotten Unlock). If this file ever compiles
+// under the analysis flags, the annotations have gone blind — the gate
+// reports that as a failure. Not part of any CMake target.
+#include <cstdint>
+
+#include "telemetry/spinlock.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Guarded {
+ public:
+  // BAD: writes the guarded field without holding mu_.
+  void IncrementUnlocked() { ++value_; }
+
+  // BAD: calls a TSF_REQUIRES(mu_) function without holding mu_.
+  void CallRequiresUnlocked() { IncrementLocked(); }
+
+  // BAD: acquires mu_ and returns without releasing it.
+  void ForgetsUnlock() {
+    mu_.Lock();
+    ++value_;
+  }
+
+  void IncrementLocked() TSF_REQUIRES(mu_) { ++value_; }
+
+ private:
+  tsf::Mutex mu_;
+  std::int64_t value_ TSF_GUARDED_BY(mu_) = 0;
+};
+
+class SpinGuarded {
+ public:
+  // BAD: reads the spinlock-guarded field without the guard.
+  double ReadUnlocked() const { return sum_; }
+
+ private:
+  tsf::telemetry::SpinLock lock_;
+  double sum_ TSF_GUARDED_BY(lock_) = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.IncrementUnlocked();
+  g.CallRequiresUnlocked();
+  g.ForgetsUnlock();
+  SpinGuarded s;
+  return static_cast<int>(s.ReadUnlocked());
+}

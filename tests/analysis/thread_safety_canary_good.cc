@@ -1,0 +1,70 @@
+// Thread-safety analysis canary — the KNOWN-GOOD half.
+//
+// tools/check_thread_safety.sh compiles this file with clang
+// `-Wthread-safety -Werror=thread-safety` and requires it to compile CLEAN:
+// it exercises every annotation the repo uses (capability, scoped
+// capability, guarded fields, REQUIRES) the way the production code does, so
+// a macro regression that silences the analysis also breaks the companion
+// known-bad file (which must FAIL to compile). Neither file is part of any
+// CMake target.
+#include <cstdint>
+
+#include "telemetry/spinlock.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Guarded {
+ public:
+  void Increment() {
+    const tsf::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  std::int64_t Read() {
+    const tsf::MutexLock lock(mu_);
+    return value_;
+  }
+
+  void IncrementLocked() TSF_REQUIRES(mu_) { ++value_; }
+
+  void IncrementViaRequires() {
+    const tsf::MutexLock lock(mu_);
+    IncrementLocked();
+  }
+
+  void ManualProtocol() {
+    mu_.Lock();
+    ++value_;
+    mu_.Unlock();
+  }
+
+ private:
+  tsf::Mutex mu_;
+  std::int64_t value_ TSF_GUARDED_BY(mu_) = 0;
+};
+
+class SpinGuarded {
+ public:
+  void Record(double v) {
+    const tsf::telemetry::SpinGuard guard(lock_);
+    sum_ += v;
+  }
+
+ private:
+  tsf::telemetry::SpinLock lock_;
+  double sum_ TSF_GUARDED_BY(lock_) = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.Increment();
+  g.IncrementViaRequires();
+  g.ManualProtocol();
+  SpinGuarded s;
+  s.Record(1.0);
+  return static_cast<int>(g.Read());
+}

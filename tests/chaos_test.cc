@@ -266,6 +266,50 @@ TEST(InvariantsTest, FinalizeCatchesLeakAndShortfall) {
   EXPECT_TRUE(Contains(violations, "incomplete_user"));
 }
 
+TEST(InvariantsTest, LeakedTaskSweepReportsInSortedTaskIdOrder) {
+  // Regression for a real nondeterminism hazard: the checker's live-task
+  // shadow map used to be a std::unordered_map, so the leaked-task and
+  // crash-survivor sweeps emitted violations in hash order — and violation
+  // order is part of the harness's deterministic contract (shrink predicates
+  // and committed repros match on the violation list). Place tasks with
+  // deliberately non-sorted ids and require the sweep to report them in
+  // ascending task-id order regardless of insertion order.
+  ScenarioView view = TwoUserView();
+  view.num_tasks = {3, 0};
+  const std::vector<StreamEvent> stream = {
+      Ev(0, Kind::kArrive, 0, 0, 0), Ev(0, Kind::kArrive, 1, 0, 0),
+      Ev(0, Kind::kPlace, 0, 9, 0),  Ev(0, Kind::kPlace, 0, 2, 1),
+      Ev(1, Kind::kPlace, 0, 7, 0)};
+  const std::vector<Violation> violations = CheckStream(view, stream);
+  std::vector<std::string> leaked;
+  for (const Violation& violation : violations)
+    if (violation.invariant == "leaked_task")
+      leaked.push_back(violation.detail);
+  ASSERT_EQ(leaked.size(), 3u);
+  EXPECT_NE(leaked[0].find("task 2 "), std::string::npos) << leaked[0];
+  EXPECT_NE(leaked[1].find("task 7 "), std::string::npos) << leaked[1];
+  EXPECT_NE(leaked[2].find("task 9 "), std::string::npos) << leaked[2];
+}
+
+TEST(InvariantsTest, CrashSurvivorSweepReportsInSortedTaskIdOrder) {
+  // Same contract for the crash-time sweep: survivors of a crashed machine
+  // are reported in task-id order, not insertion order.
+  ScenarioView view = TwoUserView();
+  view.num_tasks = {2, 0};
+  const std::vector<StreamEvent> stream = {
+      Ev(0, Kind::kArrive, 0, 0, 0), Ev(0, Kind::kArrive, 1, 0, 0),
+      Ev(0, Kind::kPlace, 0, 8, 1),  Ev(0, Kind::kPlace, 0, 3, 1),
+      Ev(1, Kind::kCrash, 0, 0, 1)};
+  const std::vector<Violation> violations = CheckStream(view, stream);
+  std::vector<std::string> survivors;
+  for (const Violation& violation : violations)
+    if (violation.invariant == "task_survived_crash")
+      survivors.push_back(violation.detail);
+  ASSERT_EQ(survivors.size(), 2u);
+  EXPECT_NE(survivors[0].find("task 3 "), std::string::npos) << survivors[0];
+  EXPECT_NE(survivors[1].find("task 8 "), std::string::npos) << survivors[1];
+}
+
 TEST(InvariantsTest, FinalizeCatchesMachineLeftDown) {
   const std::vector<StreamEvent> stream = {
       Ev(0, Kind::kArrive, 0, 0, 0), Ev(0, Kind::kArrive, 1, 0, 0),

@@ -5,9 +5,16 @@
 #   asan      AddressSanitizer + UBSan build, full ctest suite
 #   tsan      ThreadSanitizer build, full ctest suite (races are fatal:
 #             TSAN_OPTIONS=halt_on_error=1 via the test preset)
-#   tidy      clang-tidy gate against tools/clang_tidy_baseline.txt
-#             (skipped with a note if clang-tidy is not installed)
+#   tidy      clang-tidy zero-findings gate (tools/run_clang_tidy.sh;
+#             skipped with a note if clang-tidy is not installed)
+#   annotate  clang thread-safety analysis: canary pair must pass/fail as
+#             expected, then the `analysis` preset builds the whole tree
+#             with -Werror=thread-safety (tools/check_thread_safety.sh;
+#             skipped with a note if clang++ is not installed)
 #   lint      repo-specific lints (tools/lint_repo.py) + their self-test
+#   determinism
+#             nondeterminism-hazard lints (tools/determinism_lint.py) +
+#             their self-test + the audited suppression ledger
 #   format    clang-format --dry-run over first-party sources
 #             (skipped with a note if clang-format is not installed)
 #   bench     perf-regression smoke: build benchmarks, gate via
@@ -35,7 +42,7 @@ set -u
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
 cd "$repo_root"
 
-steps="${*:-release asan tsan tidy lint format bench scale fuzz slo}"
+steps="${*:-release asan tsan tidy annotate lint determinism format bench scale fuzz slo}"
 results=""
 failed=0
 
@@ -64,9 +71,17 @@ run_step() {
       if [ ! -f build/compile_commands.json ]; then cmake --preset release; fi
       tools/run_clang_tidy.sh build
       ;;
+    annotate)
+      tools/check_thread_safety.sh
+      ;;
     lint)
       python3 tools/lint_repo.py --self-test &&
       python3 tools/lint_repo.py
+      ;;
+    determinism)
+      python3 tools/determinism_lint.py --self-test &&
+      python3 tools/determinism_lint.py &&
+      python3 tools/determinism_lint.py --list-suppressions
       ;;
     format)
       if command -v clang-format >/dev/null 2>&1; then
@@ -111,7 +126,7 @@ run_step() {
       fi
       ;;
     *)
-      echo "unknown step: $step (known: release asan tsan tidy lint format bench scale fuzz slo)" >&2
+      echo "unknown step: $step (known: release asan tsan tidy annotate lint determinism format bench scale fuzz slo)" >&2
       return 2
       ;;
   esac

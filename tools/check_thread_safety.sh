@@ -1,0 +1,75 @@
+#!/usr/bin/env sh
+# Clang thread-safety analysis gate + self-proving canary.
+#
+# Two halves, mirroring run_clang_tidy.sh's skip-or-require shape:
+#
+#   1. Canary: compiles tests/analysis/thread_safety_canary_good.cc (must be
+#      CLEAN under -Wthread-safety -Werror=thread-safety) and
+#      thread_safety_canary_bad.cc (must FAIL — a deliberately mis-annotated
+#      TSF_GUARDED_BY field and friends). The bad half failing proves the
+#      TSF_* macros still expand to live attributes and the analysis still
+#      fires; the good half proves the wrappers (Mutex/MutexLock, SpinLock/
+#      SpinGuard) are annotation-clean by construction.
+#   2. Full build: configures + builds the `analysis` CMake preset, so every
+#      annotated lock site in the tree is checked with warnings fatal.
+#
+# Usage:
+#   tools/check_thread_safety.sh              canary + full analysis build
+#   tools/check_thread_safety.sh --canary-only    skip the full build
+#   tools/check_thread_safety.sh --require    fail (not skip) if clang++ is
+#                                             not installed — CI mode
+set -eu
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+require=0
+canary_only=0
+while [ "$#" -gt 0 ]; do
+  case "$1" in
+    --require) require=1; shift ;;
+    --canary-only) canary_only=1; shift ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+CLANGXX=${CLANGXX:-clang++}
+if ! command -v "$CLANGXX" >/dev/null 2>&1; then
+  if [ "$require" -eq 1 ]; then
+    echo "error: $CLANGXX not found and --require was given" >&2
+    exit 1
+  fi
+  echo "clang++ not installed; skipping thread-safety analysis" \
+       "(pass --require to make this fatal)"
+  exit 0
+fi
+
+flags="-std=c++20 -fsyntax-only -I$repo_root/src \
+  -Wthread-safety -Werror=thread-safety"
+
+echo "== canary: known-good must compile clean =="
+# shellcheck disable=SC2086 — flags is a word list on purpose.
+if ! "$CLANGXX" $flags \
+    "$repo_root/tests/analysis/thread_safety_canary_good.cc"; then
+  echo "FAIL: the known-good canary no longer compiles under" \
+       "-Werror=thread-safety — an annotation in the wrappers regressed" >&2
+  exit 1
+fi
+
+echo "== canary: known-bad must fail =="
+# shellcheck disable=SC2086
+if "$CLANGXX" $flags \
+    "$repo_root/tests/analysis/thread_safety_canary_bad.cc" 2>/dev/null; then
+  echo "FAIL: the deliberately mis-annotated canary compiled — the TSF_*" \
+       "annotations have gone blind (macros no longer expand to attributes" \
+       "or the analysis flags were dropped)" >&2
+  exit 1
+fi
+echo "canary ok: analysis fires on the bad input, good input is clean"
+
+if [ "$canary_only" -eq 1 ]; then
+  exit 0
+fi
+
+echo "== full tree: analysis preset build (warnings fatal) =="
+cmake --preset analysis
+cmake --build --preset analysis -j "$(nproc)"
+echo "thread-safety analysis: full tree clean"

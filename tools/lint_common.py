@@ -1,0 +1,146 @@
+"""Shared scaffolding for the repo's static-analysis passes.
+
+tools/lint_repo.py (repo-convention lints) and tools/determinism_lint.py
+(nondeterminism-hazard lints) share this module instead of copy-pasting:
+
+  Finding          one structured finding (rule, path, line, message)
+  strip_comments   // and /* */ removal (string literals untouched)
+  walk_sources / load_tree
+                   deterministic tree walk -> {relpath: text}
+  preprocessor_regions
+                   per-line "inside an #if matching PATTERN" map, used by
+                   the telemetry-guard rule and the wall-clock rule
+  emit_findings    --format=text (human, grep-able) or --format=github
+                   (GitHub Actions workflow commands -> inline annotations)
+  run_self_test    proves every rule fires on known-bad synthetic trees and
+                   stays silent on known-good ones
+
+Both linters keep the same self-testing architecture: a rule without a
+self-test case that fires is a rule that can silently go blind.
+"""
+
+import collections
+import os
+import re
+
+Finding = collections.namedtuple("Finding", ("rule", "path", "line", "message"))
+# line may be None for whole-file / graph findings (e.g. include cycles).
+
+SOURCE_EXTS = {".h", ".cc", ".cpp"}
+
+
+def strip_comments(text):
+    """Removes // and /* */ comments (string literals are left alone: the
+    code base does not hide lint-relevant tokens inside strings)."""
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
+    return re.sub(r"//[^\n]*", "", text)
+
+
+def walk_sources(root, subdirs, exts=frozenset(SOURCE_EXTS)):
+    for subdir in subdirs:
+        base = os.path.join(root, subdir)
+        for dirpath, _, filenames in os.walk(base):
+            for name in sorted(filenames):
+                if os.path.splitext(name)[1] in exts:
+                    path = os.path.join(dirpath, name)
+                    yield os.path.relpath(path, root)
+
+
+def load_tree(root, subdirs, exts=frozenset(SOURCE_EXTS)):
+    files = {}
+    for rel in walk_sources(root, subdirs, exts):
+        with open(os.path.join(root, rel), encoding="utf-8") as f:
+            files[rel] = f.read()
+    return files
+
+
+def preprocessor_regions(text, if_pattern):
+    """Returns a list with one bool per line of `text`: True where the line
+    sits inside a preprocessor conditional whose opening #if matches
+    `if_pattern` (at any nesting depth). #else/#elif keep the opening #if's
+    classification — the repo's guarded regions do not use #else branches for
+    unguarded code."""
+    matches = []
+    depth_stack = []  # True where the level was opened by a matching #if
+    for line in text.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("#"):
+            if if_pattern.search(line):
+                depth_stack.append(True)
+                matches.append(True)
+                continue
+            if re.match(r"#\s*(if|ifdef|ifndef)\b", stripped):
+                depth_stack.append(False)
+                matches.append(any(depth_stack))
+                continue
+            if re.match(r"#\s*endif\b", stripped):
+                inside = any(depth_stack)
+                if depth_stack:
+                    depth_stack.pop()
+                matches.append(inside)
+                continue
+        matches.append(any(depth_stack))
+    return matches
+
+
+def format_finding(finding, fmt):
+    if fmt == "github":
+        location = f"file={finding.path}"
+        if finding.line is not None:
+            location += f",line={finding.line}"
+        # Workflow commands surface as inline PR annotations; the message
+        # must be single-line with %0A escapes for any embedded newline.
+        message = finding.message.replace("%", "%25").replace(
+            "\n", "%0A").replace("\r", "")
+        return f"::error {location},title={finding.rule}::{message}"
+    where = finding.path if finding.line is None else (
+        f"{finding.path}:{finding.line}")
+    return f"{finding.rule}: {where}: {finding.message}"
+
+
+def emit_findings(findings, fmt):
+    for finding in findings:
+        print(format_finding(finding, fmt))
+
+
+def run_rules(rules, files):
+    findings = []
+    for rule in rules:
+        findings.extend(rule(files))
+    return findings
+
+
+def run_self_test(name, bad_cases, clean_cases):
+    """bad_cases: [(rule, tree)] that MUST produce >= 1 finding.
+    clean_cases: [(rule, tree)] that MUST produce none (over-match guard).
+    Returns a process exit code."""
+    failures = 0
+    for rule, tree in bad_cases:
+        if not rule(tree):
+            print(f"self-test FAILED: {rule.__name__} missed a planted "
+                  f"violation in {sorted(tree)}")
+            failures += 1
+    for rule, tree in clean_cases:
+        findings = rule(tree)
+        if findings:
+            print(f"self-test FAILED: {rule.__name__} false-positive on "
+                  f"clean input: {[format_finding(f, 'text') for f in findings]}")
+            failures += 1
+    total = len(bad_cases) + len(clean_cases)
+    print(f"{name} self-test: {total - failures}/{total} cases ok")
+    return 1 if failures else 0
+
+
+def add_common_arguments(parser):
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of this script)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify each rule still detects violations")
+    parser.add_argument("--format", choices=("text", "github"),
+                        default="text", dest="fmt",
+                        help="finding output: text (default) or github "
+                             "workflow commands (inline CI annotations)")
+
+
+def default_root(script_file):
+    return os.path.dirname(os.path.dirname(os.path.abspath(script_file)))

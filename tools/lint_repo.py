@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repo-specific lints that generic tools cannot express.
 
-Rules (each maps to a documented repo convention; see DESIGN.md §7):
+Rules (each maps to a documented repo convention; see DESIGN.md §7 and §12):
 
   entry-point-checks   every .cc under src/core, src/sim, and src/load
                        validates inputs with TSF_CHECK/TSF_DCHECK (Core
@@ -20,13 +20,24 @@ Rules (each maps to a documented repo convention; see DESIGN.md §7):
                        instrumentation site out. The always-compiled data
                        API (FairnessSample & writers, HistogramSnapshot
                        offline accumulation) is exempt.
+  lock-discipline      src/ never names raw std locking primitives
+                       (std::mutex, lock_guard, unique_lock, scoped_lock,
+                       condition_variable, shared_mutex, atomic_flag, ...)
+                       outside the two annotated wrapper headers
+                       (util/mutex.h, telemetry/spinlock.h). The wrappers
+                       carry clang thread-safety annotations; a raw primitive
+                       is a lock the analysis cannot see. std::call_once /
+                       std::once_flag stay allowed — one-time init is not a
+                       critical section. This keeps lock discipline
+                       statically enforced even on gcc-only hosts where
+                       -Wthread-safety itself cannot run.
   include-cycles       the `#include "..."` graph over src/ headers is
                        acyclic.
   pragma-once          every header in src/, bench/, tools/ uses
                        `#pragma once`.
 
 Usage:
-  tools/lint_repo.py [--root DIR]     lint the tree; exit 1 on any finding
+  tools/lint_repo.py [--root DIR] [--format=text|github]
   tools/lint_repo.py --self-test      prove each rule still fires on a
                                       known-bad synthetic input; exit 1 if
                                       any rule has gone blind
@@ -36,6 +47,10 @@ import argparse
 import os
 import re
 import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import lint_common  # noqa: E402
+from lint_common import Finding, strip_comments  # noqa: E402
 
 # ---------------------------------------------------------------- config --
 
@@ -80,6 +95,23 @@ STDOUT_RES = (
     re.compile(r"fwrite\s*\([^;]*,\s*stdout\s*\)"),
 )
 
+# lock-discipline: the only files allowed to name raw std locking primitives.
+# Both wrap them behind clang thread-safety annotations (DESIGN.md §12).
+LOCK_WRAPPER_FILES = {
+    "src/util/mutex.h",
+    "src/telemetry/spinlock.h",
+}
+
+# std::once_flag / std::call_once are deliberately absent: one-time init is
+# not a critical section and carries no annotation story.
+RAW_LOCK_RE = re.compile(
+    r"std::(?:recursive_|timed_|recursive_timed_|shared_|shared_timed_)?"
+    r"mutex\b"
+    r"|std::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+    r"|std::condition_variable(?:_any)?\b"
+    r"|std::atomic_flag\b"
+)
+
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"', re.MULTILINE)
 
 CHECK_RE = re.compile(r"\bTSF_D?CHECK")
@@ -89,26 +121,8 @@ TELEMETRY_IF_RE = re.compile(
 )
 
 
-def strip_comments(text):
-    """Removes // and /* */ comments (string literals are left alone: the
-    code base does not hide lint-relevant tokens inside strings)."""
-    text = re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
-    return re.sub(r"//[^\n]*", "", text)
-
-
-def walk_sources(root, subdirs, exts):
-    for subdir in subdirs:
-        base = os.path.join(root, subdir)
-        for dirpath, _, filenames in os.walk(base):
-            for name in sorted(filenames):
-                if os.path.splitext(name)[1] in exts:
-                    path = os.path.join(dirpath, name)
-                    yield os.path.relpath(path, root)
-
-
 # ----------------------------------------------------------------- rules --
-# Each rule takes {relpath: text} and returns a list of findings
-# "rule: path[:line]: message".
+# Each rule takes {relpath: text} and returns [lint_common.Finding].
 
 
 def rule_entry_point_checks(files):
@@ -122,11 +136,11 @@ def rule_entry_point_checks(files):
         if path in ENTRY_POINT_CHECK_ALLOWLIST:
             continue
         if not CHECK_RE.search(strip_comments(text)):
-            findings.append(
-                f"entry-point-checks: {path}: no TSF_CHECK/TSF_DCHECK — "
-                "public entry points must validate inputs (P.7); add checks "
-                "or allowlist the file with a justification in lint_repo.py"
-            )
+            findings.append(Finding(
+                "entry-point-checks", path, None,
+                "no TSF_CHECK/TSF_DCHECK — public entry points must validate "
+                "inputs (P.7); add checks or allowlist the file with a "
+                "justification in lint_repo.py"))
     return findings
 
 
@@ -139,11 +153,11 @@ def rule_no_stdout(files):
         for lineno, line in enumerate(clean.splitlines(), 1):
             for pattern in STDOUT_RES:
                 if pattern.search(line):
-                    findings.append(
-                        f"no-stdout: {path}:{lineno}: direct stdout write "
-                        f"({pattern.pattern!r}) — library code logs via "
-                        "TSF_LOG or writes caller-named files"
-                    )
+                    findings.append(Finding(
+                        "no-stdout", path, lineno,
+                        f"direct stdout write ({pattern.pattern!r}) — "
+                        "library code logs via TSF_LOG or writes "
+                        "caller-named files"))
     return findings
 
 
@@ -153,35 +167,43 @@ def rule_telemetry_macros(files):
         if not path.startswith("src/") or path.startswith("src/telemetry/"):
             continue
         clean = strip_comments(text)
-        # Track #if nesting; inside_guard counts TSF_TELEMETRY regions.
-        depth_stack = []  # True where the level was opened by a telemetry #if
+        guarded = lint_common.preprocessor_regions(clean, TELEMETRY_IF_RE)
         for lineno, line in enumerate(clean.splitlines(), 1):
-            stripped = line.strip()
-            if stripped.startswith("#"):
-                if TELEMETRY_IF_RE.search(line):
-                    depth_stack.append(True)
-                    continue
-                if re.match(r"#\s*(if|ifdef|ifndef)\b", stripped):
-                    depth_stack.append(False)
-                    continue
-                if re.match(r"#\s*endif\b", stripped) and depth_stack:
-                    depth_stack.pop()
-                    continue
+            if line.strip().startswith("#"):
+                continue
             match = TELEMETRY_GUARDED_RE.search(line)
-            if match and not any(depth_stack):
+            if match and not guarded[lineno - 1]:
                 if any(api in line for api in TELEMETRY_DATA_API):
                     continue
-                findings.append(
-                    f"telemetry-macros: {path}:{lineno}: unguarded "
-                    f"`{match.group(0)}` — use a TSF_* macro or wrap in "
-                    "#if defined(TSF_TELEMETRY) so -DTSF_TELEMETRY=OFF "
-                    "compiles it out"
-                )
+                findings.append(Finding(
+                    "telemetry-macros", path, lineno,
+                    f"unguarded `{match.group(0)}` — use a TSF_* macro or "
+                    "wrap in #if defined(TSF_TELEMETRY) so "
+                    "-DTSF_TELEMETRY=OFF compiles it out"))
+    return findings
+
+
+def rule_lock_discipline(files):
+    findings = []
+    for path, text in sorted(files.items()):
+        if not path.startswith("src/") or path in LOCK_WRAPPER_FILES:
+            continue
+        clean = strip_comments(text)
+        for lineno, line in enumerate(clean.splitlines(), 1):
+            match = RAW_LOCK_RE.search(line)
+            if match:
+                findings.append(Finding(
+                    "lock-discipline", path, lineno,
+                    f"raw `{match.group(0)}` outside the annotated wrappers "
+                    "— use tsf::Mutex/MutexLock/CondVar (util/mutex.h) or "
+                    "SpinLock/SpinGuard (telemetry/spinlock.h) so clang "
+                    "thread-safety analysis can see the lock"))
     return findings
 
 
 def rule_include_cycles(files):
-    headers = {p: t for p, t in files.items() if p.startswith("src/") and p.endswith(".h")}
+    headers = {p: t for p, t in files.items()
+               if p.startswith("src/") and p.endswith(".h")}
     graph = {}
     for path, text in headers.items():
         deps = []
@@ -201,9 +223,8 @@ def rule_include_cycles(files):
         for dep in graph[node]:
             if color[dep] == GRAY:
                 cycle = stack[stack.index(dep):] + [dep]
-                findings.append(
-                    "include-cycles: " + " -> ".join(cycle)
-                )
+                findings.append(Finding(
+                    "include-cycles", node, None, " -> ".join(cycle)))
             elif color[dep] == WHITE:
                 dfs(dep, stack)
         stack.pop()
@@ -221,7 +242,8 @@ def rule_pragma_once(files):
         if not path.endswith(".h"):
             continue
         if "#pragma once" not in text:
-            findings.append(f"pragma-once: {path}: header lacks `#pragma once`")
+            findings.append(Finding(
+                "pragma-once", path, None, "header lacks `#pragma once`"))
     return findings
 
 
@@ -229,29 +251,10 @@ RULES = (
     rule_entry_point_checks,
     rule_no_stdout,
     rule_telemetry_macros,
+    rule_lock_discipline,
     rule_include_cycles,
     rule_pragma_once,
 )
-
-
-def load_tree(root):
-    files = {}
-    for rel in walk_sources(root, ("src", "bench", "tools"),
-                            {".h", ".cc", ".cpp"}):
-        with open(os.path.join(root, rel), encoding="utf-8") as f:
-            files[rel] = f.read()
-    return files
-
-
-def run_lint(root):
-    files = load_tree(root)
-    findings = []
-    for rule in RULES:
-        findings.extend(rule(files))
-    for finding in findings:
-        print(finding)
-    print(f"lint_repo: {len(files)} files, {len(findings)} finding(s)")
-    return 1 if findings else 0
 
 
 # ------------------------------------------------------------- self-test --
@@ -282,6 +285,17 @@ SELF_TEST_CASES = [
     (rule_telemetry_macros,
      {"src/lp/standard_form.cc":
       "#ifdef NDEBUG\nvoid F() { telemetry::ScopedSpan s; }\n#endif\n"}),
+    (rule_lock_discipline,
+     {"src/core/thing.cc": "std::mutex mu_;\n"}),
+    (rule_lock_discipline,
+     {"src/sim/thing.cc":
+      "void F() { const std::lock_guard<std::mutex> l(mu_); }\n"}),
+    (rule_lock_discipline,
+     {"src/telemetry/trace.cc": "std::atomic_flag busy_;\n"}),
+    (rule_lock_discipline,  # condition_variable needs the annotated CondVar
+     {"src/util/thread_pool.h": "std::condition_variable cv_;\n"}),
+    (rule_lock_discipline,
+     {"src/mesos/thing.cc": "std::shared_mutex registry_mu_;\n"}),
     (rule_include_cycles,
      {"src/a/a.h": '#pragma once\n#include "b/b.h"\n',
       "src/b/b.h": '#pragma once\n#include "a/a.h"\n'}),
@@ -321,6 +335,21 @@ SELF_TEST_CLEAN = [
      {"src/lp/revised.cc":   # they compile out under -DTSF_TELEMETRY=OFF
       'void Solve() { TSF_COUNTER_ADD("lp.iterations", 1); }\n'
       'void Trace() { TSF_TRACE_SCOPE("lp", "Solve"); }\n'}),
+    (rule_lock_discipline,  # the wrapper headers are the sanctioned homes
+     {"src/util/mutex.h":
+      "#pragma once\n#include <mutex>\nstd::mutex mu_;\n"
+      "std::condition_variable cv_;\n",
+      "src/telemetry/spinlock.h":
+      "#pragma once\n#include <atomic>\nstd::atomic_flag flag_;\n"}),
+    (rule_lock_discipline,  # one-time init is not a critical section
+     {"src/sim/runner.cc":
+      "#include <mutex>\nstd::once_flag warm_once;\n"
+      "void F() { std::call_once(warm_once, [] {}); }\n"}),
+    (rule_lock_discipline,  # plain atomics are fine; only atomic_flag (a
+     {"src/telemetry/metrics.h":  # spinlock building block) is reserved
+      "std::atomic<std::uint64_t> count{0};\n"}),
+    (rule_lock_discipline,  # tools/ and bench/ are out of scope
+     {"tools/main.cc": "#include <mutex>\nstd::mutex mu;\n"}),
     (rule_entry_point_checks,
      {"src/core/thing.cc": "void Api(int x) { TSF_CHECK(x > 0); }\n"}),
     (rule_entry_point_checks,  # the real pool validates at the boundary
@@ -353,36 +382,21 @@ SELF_TEST_CLEAN = [
 ]
 
 
-def run_self_test():
-    failures = 0
-    for rule, tree in SELF_TEST_CASES:
-        if not rule(tree):
-            print(f"self-test FAILED: {rule.__name__} missed a planted "
-                  f"violation in {sorted(tree)}")
-            failures += 1
-    for rule, tree in SELF_TEST_CLEAN:
-        findings = rule(tree)
-        if findings:
-            print(f"self-test FAILED: {rule.__name__} false-positive on "
-                  f"clean input: {findings}")
-            failures += 1
-    total = len(SELF_TEST_CASES) + len(SELF_TEST_CLEAN)
-    print(f"lint_repo self-test: {total - failures}/{total} cases ok")
-    return 1 if failures else 0
-
-
 def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--root", default=None,
-                        help="repo root (default: parent of this script)")
-    parser.add_argument("--self-test", action="store_true",
-                        help="verify each rule still detects violations")
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    lint_common.add_common_arguments(parser)
     args = parser.parse_args()
     if args.self_test:
-        return run_self_test()
-    root = args.root or os.path.dirname(
-        os.path.dirname(os.path.abspath(__file__)))
-    return run_lint(root)
+        return lint_common.run_self_test(
+            "lint_repo", SELF_TEST_CASES, SELF_TEST_CLEAN)
+    root = args.root or lint_common.default_root(__file__)
+    files = lint_common.load_tree(root, ("src", "bench", "tools"))
+    findings = lint_common.run_rules(RULES, files)
+    lint_common.emit_findings(findings, args.fmt)
+    print(f"lint_repo: {len(files)} files, {len(findings)} finding(s)")
+    return 1 if findings else 0
 
 
 if __name__ == "__main__":

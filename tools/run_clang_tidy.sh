@@ -1,15 +1,13 @@
 #!/usr/bin/env sh
-# clang-tidy gate with a tracked baseline.
+# clang-tidy zero-findings gate.
 #
-# New findings FAIL; findings recorded in tools/clang_tidy_baseline.txt are
-# legacy debt to burn down (the gate also fails if you add to a file's count
-# for an already-baselined check). Fixing findings and re-running with
-# --update shrinks the baseline; the diff shows the burn-down.
+# The legacy-debt baseline (tools/clang_tidy_baseline.txt) was burned down to
+# empty and then deleted; the gate is now absolute — ANY finding fails. Fix
+# it or argue the check out of .clang-tidy; there is no third option, so the
+# tree can never re-accumulate tidy debt.
 #
 # Usage:
-#   tools/run_clang_tidy.sh [build-dir]      gate against the baseline
-#   tools/run_clang_tidy.sh --update [dir]   rewrite the baseline (only do
-#                                            this to REMOVE entries)
+#   tools/run_clang_tidy.sh [build-dir]      gate (zero findings required)
 #   tools/run_clang_tidy.sh --require [dir]  fail (not skip) if clang-tidy
 #                                            is not installed — CI mode
 #
@@ -18,17 +16,14 @@
 set -eu
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
-update=0
 require=0
 while [ "$#" -gt 0 ]; do
   case "$1" in
-    --update) update=1; shift ;;
     --require) require=1; shift ;;
     *) break ;;
   esac
 done
 build_dir=${1:-"$repo_root/build"}
-baseline="$repo_root/tools/clang_tidy_baseline.txt"
 
 if ! command -v clang-tidy >/dev/null 2>&1; then
   if [ "$require" -eq 1 ]; then
@@ -55,66 +50,31 @@ for f in $files; do
   clang-tidy -p "$build_dir" --quiet "$repo_root/$f" 2>/dev/null || true
 done > "$raw"
 
-# Normalize to stable "path [check-name] count" lines: absolute paths are
-# stripped and line/column numbers dropped so the baseline survives
-# unrelated edits that shift lines.
-python3 - "$repo_root" "$raw" "$baseline" "$update" <<'EOF'
-import collections, re, sys
+# Count real findings ("path:line:col: warning|error: ... [check]") and fail
+# on any; everything else clang-tidy prints is progress noise.
+python3 - "$repo_root" "$raw" <<'EOF'
+import re, sys
 
-root, raw_path, baseline_path, update = sys.argv[1:5]
+root, raw_path = sys.argv[1:3]
 finding_re = re.compile(
     r"^(?P<path>[^:\s]+):\d+:\d+: (?:warning|error): .* \[(?P<check>[^\]]+)\]")
 
-counts = collections.Counter()
+findings = []
 with open(raw_path, encoding="utf-8", errors="replace") as f:
     for line in f:
-        m = finding_re.match(line.strip())
+        line = line.strip()
+        m = finding_re.match(line)
         if not m:
             continue
-        path = m.group("path")
-        if path.startswith(root):
-            path = path[len(root):].lstrip("/")
-        counts[(path, m.group("check"))] += 1
+        if line.startswith(root):
+            line = line[len(root):].lstrip("/")
+        findings.append(line)
 
-current = {f"{p} [{c}]": n for (p, c), n in counts.items()}
-
-if update == "1":
-    with open(baseline_path, "w", encoding="utf-8") as f:
-        f.write("# clang-tidy legacy findings — burn down, never add.\n")
-        f.write("# Format: <path> [<check>] <count>\n")
-        for key in sorted(current):
-            f.write(f"{key} {current[key]}\n")
-    print(f"baseline updated: {sum(current.values())} finding(s) "
-          f"across {len(current)} (file, check) pair(s)")
-    sys.exit(0)
-
-baseline = {}
-try:
-    with open(baseline_path, encoding="utf-8") as f:
-        for line in f:
-            line = line.strip()
-            if not line or line.startswith("#"):
-                continue
-            key, _, n = line.rpartition(" ")
-            baseline[key] = int(n)
-except FileNotFoundError:
-    pass  # no baseline: every finding is new
-
-new = []
-for key, n in sorted(current.items()):
-    allowed = baseline.get(key, 0)
-    if n > allowed:
-        new.append(f"  {key}: {n} finding(s), baseline allows {allowed}")
-fixed = sorted(set(baseline) - set(current))
-
-if fixed:
-    print("burned down since baseline (run --update to lock in):")
-    for key in fixed:
-        print(f"  {key}")
-if new:
-    print("NEW clang-tidy findings (fix them or argue the check out of "
-          ".clang-tidy — do not grow the baseline):")
-    print("\n".join(new))
+if findings:
+    print("clang-tidy findings (the gate is zero-tolerance — fix them or "
+          "argue the check out of .clang-tidy):")
+    for line in findings:
+        print(f"  {line}")
     sys.exit(1)
-print(f"clang-tidy gate: {sum(current.values())} finding(s), all baselined")
+print("clang-tidy gate: 0 findings")
 EOF
