@@ -24,11 +24,7 @@ constexpr struct {
     {FaultKind::kFrameworkReregister, "reregister"},
 };
 
-bool IsMachineKind(FaultKind kind) {
-  return kind == FaultKind::kMachineCrash ||
-         kind == FaultKind::kMachineRestart ||
-         kind == FaultKind::kTaskFailure;
-}
+bool IsMachineKind(FaultKind kind) { return IsMachineFault(kind); }
 
 // Round-tripping double format (shortest exact form).
 std::string FormatDouble(double value) {
@@ -51,6 +47,12 @@ FaultKind FaultKindFromString(const std::string& token) {
     if (token == entry.token) return entry.kind;
   TSF_CHECK(false) << "unknown fault kind token '" << token << "'";
   return FaultKind::kMachineCrash;
+}
+
+bool IsMachineFault(FaultKind kind) {
+  return kind == FaultKind::kMachineCrash ||
+         kind == FaultKind::kMachineRestart ||
+         kind == FaultKind::kTaskFailure;
 }
 
 FaultPlan RandomFaultPlan(const FaultPlanShape& shape, std::uint64_t seed) {
@@ -222,6 +224,16 @@ std::string SerializeFaultPlan(const FaultPlan& plan) {
         << " target=" << fault.target << " param=" << FormatDouble(fault.param)
         << "\n";
   return out.str();
+}
+
+std::uint64_t HashFaultPlan(const FaultPlan& plan) {
+  const std::string text = SerializeFaultPlan(plan);
+  std::uint64_t hash = 1469598103934665603ull;  // FNV-1a offset basis
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;  // FNV prime
+  }
+  return hash;
 }
 
 FaultPlan ParseFaultPlan(const std::string& text) {

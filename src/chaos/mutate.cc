@@ -1,0 +1,330 @@
+#include "chaos/mutate.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "util/check.h"
+
+namespace tsf::chaos {
+namespace {
+
+// Minimum spacing between two outage windows of one target (matches the
+// 0.25 settle gap RandomFaultPlan leaves between a restart and the next
+// crash), and the retry budget of the placement-sampling operators.
+constexpr double kWindowMargin = 0.25;
+constexpr int kRetries = 8;
+
+struct Window {
+  double start = 0.0;
+  double end = 0.0;
+  std::size_t target = 0;
+};
+
+// Outage windows of the paired atoms, split by domain. `skip` excludes one
+// atom index (the one being retimed/retargeted).
+std::vector<Window> PairedWindows(
+    const std::vector<FaultAtom>& atoms, bool machine_domain,
+    std::size_t skip = static_cast<std::size_t>(-1)) {
+  std::vector<Window> windows;
+  for (std::size_t a = 0; a < atoms.size(); ++a) {
+    if (a == skip || !atoms[a].has_close) continue;
+    if (IsMachineFault(atoms[a].open.kind) != machine_domain) continue;
+    windows.push_back(
+        {atoms[a].open.time, atoms[a].close.time, atoms[a].open.target});
+  }
+  return windows;
+}
+
+bool Overlaps(const Window& w, double start, double end) {
+  return w.start < end + kWindowMargin && start < w.end + kWindowMargin;
+}
+
+// True iff [start, end] on `target` keeps the target's windows disjoint.
+bool TargetFree(const std::vector<Window>& windows, std::size_t target,
+                double start, double end) {
+  for (const Window& w : windows)
+    if (w.target == target && Overlaps(w, start, end)) return false;
+  return true;
+}
+
+// True iff crashing `machine` over [start, end] leaves at least one other
+// machine up at every instant (the generator's no-blackout rule: a plan
+// that stops the whole cluster stalls the run without proving anything).
+bool BlackoutFree(const std::vector<Window>& machine_windows,
+                  std::size_t num_machines, std::size_t machine, double start,
+                  double end) {
+  std::size_t concurrent = 0;
+  for (const Window& w : machine_windows)
+    if (w.target != machine && w.start < end && start < w.end) ++concurrent;
+  return concurrent + 1 < num_machines;
+}
+
+bool IsPairKind(FaultKind kind) {
+  return kind == FaultKind::kMachineCrash ||
+         kind == FaultKind::kFrameworkDisconnect;
+}
+
+FaultKind CloserOf(FaultKind opener) {
+  return opener == FaultKind::kMachineCrash ? FaultKind::kMachineRestart
+                                            : FaultKind::kFrameworkReregister;
+}
+
+// Samples a fresh atom that fits the current atom set, or nullopt after
+// kRetries failed placements.
+std::optional<FaultAtom> SampleAtom(const std::vector<FaultAtom>& atoms,
+                                    const MutationShape& shape, Rng& rng) {
+  const bool mesos = shape.num_frameworks > 0;
+  for (int attempt = 0; attempt < kRetries; ++attempt) {
+    const double pick = rng.Uniform();
+    FaultAtom atom;
+    if (!mesos ? pick < 0.60 : pick < 0.45) {
+      // Crash + restart pair.
+      const auto m = static_cast<std::size_t>(rng.Below(shape.num_machines));
+      const double start = rng.Uniform(shape.earliest, shape.horizon);
+      const double end = start + rng.Uniform(0.5, 2.0 * shape.mean_outage);
+      const std::vector<Window> windows = PairedWindows(atoms, true);
+      if (!TargetFree(windows, m, start, end)) continue;
+      if (!BlackoutFree(windows, shape.num_machines, m, start, end)) continue;
+      atom.open = {start, FaultKind::kMachineCrash, m, 0.0};
+      atom.has_close = true;
+      atom.close = {end, FaultKind::kMachineRestart, m, 0.0};
+    } else if (!mesos || pick < 0.60) {
+      const auto m = static_cast<std::size_t>(rng.Below(shape.num_machines));
+      atom.open = {rng.Uniform(shape.earliest, shape.horizon),
+                   FaultKind::kTaskFailure, m, 0.0};
+    } else if (pick < 0.75) {
+      // Disconnect + re-register pair.
+      const auto f = static_cast<std::size_t>(rng.Below(shape.num_frameworks));
+      const double start = rng.Uniform(shape.earliest, shape.horizon);
+      const double end = start + rng.Uniform(0.5, 2.0 * shape.mean_outage);
+      if (!TargetFree(PairedWindows(atoms, false), f, start, end)) continue;
+      atom.open = {start, FaultKind::kFrameworkDisconnect, f, 0.0};
+      atom.has_close = true;
+      atom.close = {end, FaultKind::kFrameworkReregister, f, 0.0};
+    } else {
+      const auto f = static_cast<std::size_t>(rng.Below(shape.num_frameworks));
+      const double t = rng.Uniform(shape.earliest, shape.horizon);
+      if (pick < 0.85) {
+        atom.open = {t, FaultKind::kOfferDrop, f,
+                     static_cast<double>(rng.Int(1, 3))};
+      } else if (pick < 0.95) {
+        atom.open = {t, FaultKind::kOfferRescind, f, 0.0};
+      } else {
+        atom.open = {t, FaultKind::kDeclineTimeout, f,
+                     rng.Uniform(0.5, shape.mean_outage)};
+      }
+    }
+    return atom;
+  }
+  return std::nullopt;
+}
+
+// Picks the atom a unary operator works on. Biased toward outage pairs:
+// moving a crash/disconnect window changes which tasks get disrupted, while
+// moving a lone task-failure or offer fault rarely opens new interleavings.
+std::size_t PickAtom(const std::vector<FaultAtom>& atoms, Rng& rng) {
+  std::vector<std::size_t> pairs;
+  for (std::size_t a = 0; a < atoms.size(); ++a)
+    if (atoms[a].has_close) pairs.push_back(a);
+  if (!pairs.empty() && rng.Chance(0.7))
+    return pairs[rng.Below(pairs.size())];
+  return static_cast<std::size_t>(rng.Below(atoms.size()));
+}
+
+// An atom fits the accumulating splice result iff its windows stay disjoint
+// per target and machine outages keep the cluster partially up.
+bool Fits(const std::vector<FaultAtom>& atoms, const FaultAtom& atom,
+          const MutationShape& shape) {
+  if (atom.open.target >=
+      (IsMachineFault(atom.open.kind) ? shape.num_machines
+                                      : shape.num_frameworks))
+    return false;
+  if (!atom.has_close) return true;
+  const bool machine_domain = IsMachineFault(atom.open.kind);
+  const std::vector<Window> windows = PairedWindows(atoms, machine_domain);
+  if (!TargetFree(windows, atom.open.target, atom.open.time, atom.close.time))
+    return false;
+  if (machine_domain &&
+      !BlackoutFree(windows, shape.num_machines, atom.open.target,
+                    atom.open.time, atom.close.time))
+    return false;
+  return true;
+}
+
+std::optional<FaultPlan> Finish(std::vector<FaultAtom> atoms,
+                                const MutationShape& shape) {
+  FaultPlan plan = AssembleAtoms(atoms);
+  TSF_CHECK(
+      ValidateFaultPlan(plan, shape.num_machines, shape.num_frameworks).empty())
+      << "mutation produced an ill-formed plan";
+  return plan;
+}
+
+}  // namespace
+
+std::vector<FaultAtom> DecomposeAtoms(const FaultPlan& plan) {
+  const std::vector<FaultSpec>& events = plan.events;
+  std::vector<bool> used(events.size(), false);
+  std::vector<FaultAtom> atoms;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (used[i]) continue;
+    used[i] = true;
+    FaultAtom atom;
+    atom.open = events[i];
+    if (IsPairKind(events[i].kind)) {
+      const FaultKind closer = CloserOf(events[i].kind);
+      bool paired = false;
+      for (std::size_t j = i + 1; j < events.size(); ++j) {
+        if (used[j] || events[j].kind != closer ||
+            events[j].target != events[i].target)
+          continue;
+        used[j] = true;
+        atom.has_close = true;
+        atom.close = events[j];
+        paired = true;
+        break;
+      }
+      TSF_CHECK(paired) << "unpaired " << ToString(events[i].kind)
+                        << " at event " << i
+                        << " — validate the plan before mutating";
+    }
+    atoms.push_back(atom);
+  }
+  return atoms;
+}
+
+FaultPlan AssembleAtoms(const std::vector<FaultAtom>& atoms) {
+  FaultPlan plan;
+  for (const FaultAtom& atom : atoms) {
+    plan.events.push_back(atom.open);
+    if (atom.has_close) plan.events.push_back(atom.close);
+  }
+  std::sort(plan.events.begin(), plan.events.end(),
+            [](const FaultSpec& a, const FaultSpec& b) {
+              return std::tie(a.time, a.target, a.kind, a.param) <
+                     std::tie(b.time, b.target, b.kind, b.param);
+            });
+  return plan;
+}
+
+std::string ToString(MutationOp op) {
+  switch (op) {
+    case MutationOp::kAddAtom: return "add";
+    case MutationOp::kRemoveAtom: return "remove";
+    case MutationOp::kRetimeAtom: return "retime";
+    case MutationOp::kRetargetAtom: return "retarget";
+    case MutationOp::kSplice: return "splice";
+  }
+  TSF_CHECK(false) << "unknown MutationOp " << static_cast<int>(op);
+  return {};
+}
+
+std::optional<FaultPlan> ApplyMutation(const FaultPlan& plan, MutationOp op,
+                                       const MutationShape& shape, Rng& rng,
+                                       const FaultPlan* donor) {
+  TSF_CHECK_GT(shape.num_machines, 0u);
+  TSF_CHECK_LT(shape.earliest, shape.horizon);
+  TSF_CHECK(
+      ValidateFaultPlan(plan, shape.num_machines, shape.num_frameworks).empty())
+      << "mutating an ill-formed plan";
+  std::vector<FaultAtom> atoms = DecomposeAtoms(plan);
+
+  switch (op) {
+    case MutationOp::kAddAtom: {
+      if (atoms.size() >= shape.max_atoms) return std::nullopt;
+      std::optional<FaultAtom> atom = SampleAtom(atoms, shape, rng);
+      if (!atom) return std::nullopt;
+      atoms.push_back(*atom);
+      return Finish(std::move(atoms), shape);
+    }
+
+    case MutationOp::kRemoveAtom: {
+      if (atoms.size() <= 1) return std::nullopt;
+      atoms.erase(atoms.begin() +
+                  static_cast<std::ptrdiff_t>(rng.Below(atoms.size())));
+      return Finish(std::move(atoms), shape);
+    }
+
+    case MutationOp::kRetimeAtom: {
+      if (atoms.empty()) return std::nullopt;
+      const std::size_t a = PickAtom(atoms, rng);
+      FaultAtom& atom = atoms[a];
+      for (int attempt = 0; attempt < kRetries; ++attempt) {
+        const double start = rng.Uniform(shape.earliest, shape.horizon);
+        if (!atom.has_close) {
+          atom.open.time = start;
+          return Finish(std::move(atoms), shape);
+        }
+        const double end = start + rng.Uniform(0.5, 2.0 * shape.mean_outage);
+        const bool machine_domain = IsMachineFault(atom.open.kind);
+        const std::vector<Window> windows =
+            PairedWindows(atoms, machine_domain, a);
+        if (!TargetFree(windows, atom.open.target, start, end)) continue;
+        if (machine_domain &&
+            !BlackoutFree(windows, shape.num_machines, atom.open.target, start,
+                          end))
+          continue;
+        atom.open.time = start;
+        atom.close.time = end;
+        return Finish(std::move(atoms), shape);
+      }
+      return std::nullopt;
+    }
+
+    case MutationOp::kRetargetAtom: {
+      if (atoms.empty()) return std::nullopt;
+      const std::size_t a = PickAtom(atoms, rng);
+      FaultAtom& atom = atoms[a];
+      const bool machine_domain = IsMachineFault(atom.open.kind);
+      const std::size_t domain =
+          machine_domain ? shape.num_machines : shape.num_frameworks;
+      if (domain <= 1) return std::nullopt;
+      for (int attempt = 0; attempt < kRetries; ++attempt) {
+        const auto target = static_cast<std::size_t>(rng.Below(domain));
+        if (target == atom.open.target) continue;
+        if (atom.has_close) {
+          const std::vector<Window> windows =
+              PairedWindows(atoms, machine_domain, a);
+          if (!TargetFree(windows, target, atom.open.time, atom.close.time))
+            continue;
+          if (machine_domain &&
+              !BlackoutFree(windows, shape.num_machines, target,
+                            atom.open.time, atom.close.time))
+            continue;
+          atom.close.target = target;
+        }
+        atom.open.target = target;
+        return Finish(std::move(atoms), shape);
+      }
+      return std::nullopt;
+    }
+
+    case MutationOp::kSplice: {
+      if (donor == nullptr) return std::nullopt;
+      TSF_CHECK(ValidateFaultPlan(*donor, shape.num_machines,
+                                  shape.num_frameworks)
+                    .empty())
+          << "splicing an ill-formed donor plan";
+      const std::vector<FaultAtom> theirs = DecomposeAtoms(*donor);
+      if (atoms.empty() && theirs.empty()) return std::nullopt;
+      // Time-cut crossover: our atoms before the cut, the donor's after,
+      // donor atoms that would collide (overlapping window, blackout, cap)
+      // are dropped — pairing is preserved because whole atoms move.
+      const double cut = rng.Uniform(shape.earliest, shape.horizon);
+      std::vector<FaultAtom> spliced;
+      for (const FaultAtom& atom : atoms)
+        if (atom.open.time < cut) spliced.push_back(atom);
+      for (const FaultAtom& atom : theirs) {
+        if (atom.open.time < cut) continue;
+        if (spliced.size() >= shape.max_atoms) break;
+        if (Fits(spliced, atom, shape)) spliced.push_back(atom);
+      }
+      if (spliced.empty()) return std::nullopt;
+      return Finish(std::move(spliced), shape);
+    }
+  }
+  TSF_CHECK(false) << "unknown MutationOp " << static_cast<int>(op);
+  return std::nullopt;
+}
+
+}  // namespace tsf::chaos

@@ -1,0 +1,79 @@
+// Mutation operators over FaultPlan atoms (the guided fuzzer's move set).
+//
+// The mutation unit is the *atom* — the same unit chaos/shrink.h removes: a
+// crash and its matching restart (or a disconnect and its re-register) move
+// together, single events (task failures, offer faults) stand alone. Every
+// operator keeps the plan well-formed by construction: outage windows of one
+// target never overlap, no window combination blacks out the whole cluster,
+// and the result is re-validated with ValidateFaultPlan before it is
+// returned. An operator that cannot find a valid move within its retry
+// budget returns nullopt instead of a malformed plan.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chaos/fault_plan.h"
+#include "util/rng.h"
+
+namespace tsf::chaos {
+
+// One mutation unit: an unpaired event, or an open/close outage pair.
+struct FaultAtom {
+  FaultSpec open;
+  bool has_close = false;
+  FaultSpec close;  // meaningful iff has_close
+
+  bool operator==(const FaultAtom&) const = default;
+};
+
+// Splits a well-formed plan into atoms (pairing each crash/restart and
+// disconnect/re-register per target in time order). TSF_CHECK-fails on an
+// unpaired opener — validate the plan first.
+std::vector<FaultAtom> DecomposeAtoms(const FaultPlan& plan);
+
+// Flattens atoms back into a time-sorted plan. The inverse of
+// DecomposeAtoms up to event order at equal times (ties are broken
+// deterministically by target and kind).
+FaultPlan AssembleAtoms(const std::vector<FaultAtom>& atoms);
+
+// The operator alphabet. kSplice needs a donor plan; the others are unary.
+enum class MutationOp {
+  kAddAtom,      // insert a fresh random atom
+  kRemoveAtom,   // drop one atom (pair removed together)
+  kRetimeAtom,   // resample one atom's time (and outage duration)
+  kRetargetAtom, // move one atom to a different machine/framework
+  kSplice,       // time-cut cross of two plans, conflicts dropped
+};
+inline constexpr MutationOp kAllMutationOps[] = {
+    MutationOp::kAddAtom, MutationOp::kRemoveAtom, MutationOp::kRetimeAtom,
+    MutationOp::kRetargetAtom, MutationOp::kSplice};
+
+std::string ToString(MutationOp op);
+
+// The envelope a mutant must stay inside — mirrors FaultPlanShape, plus the
+// atom cap that keeps guided plans from growing without bound.
+struct MutationShape {
+  std::size_t num_machines = 1;
+  std::size_t num_frameworks = 0;  // 0 == DES plan (machine kinds only)
+  double earliest = 0.0;
+  double horizon = 60.0;
+  double mean_outage = 8.0;
+  std::size_t max_atoms = 16;
+};
+
+// Applies `op` to `plan`, drawing every choice from `rng`. `donor` is the
+// second parent for kSplice (ignored otherwise; kSplice with a null donor
+// returns nullopt). Returns nullopt when the operator is inapplicable (e.g.
+// removing from a single-atom plan, retargeting in a 1-machine cluster) or
+// when no valid placement was found within the retry budget; otherwise the
+// returned plan passes ValidateFaultPlan against `shape` by construction
+// (TSF_CHECK-enforced).
+std::optional<FaultPlan> ApplyMutation(const FaultPlan& plan, MutationOp op,
+                                       const MutationShape& shape, Rng& rng,
+                                       const FaultPlan* donor = nullptr);
+
+}  // namespace tsf::chaos

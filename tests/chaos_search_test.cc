@@ -1,0 +1,322 @@
+// Guided chaos search: mutation-operator properties, the executions-to-bug
+// regression against the blind sweep, and the search determinism contract.
+//
+// The mutation properties are the load-bearing half of the search design:
+// every operator must yield ValidateFaultPlan-passing plans by construction
+// (a malformed mutant would TSF_CHECK inside the scenario runner, killing
+// the whole campaign), mutants must survive the text format round trip (the
+// corpus is committed as text), and splice must move whole atoms (an orphan
+// restart would fail validation on every future mutation of that plan).
+//
+// The executions-to-bug test is the regression gate for the feedback
+// signals themselves: at a pinned scenario/search seed, guided search must
+// find the planted kLeakTaskOnCrash bug in strictly fewer scenario
+// executions than the blind seed sweep. Both counts are golded — a change
+// that degrades the guidance (or accidentally improves the blind baseline)
+// fails loudly and must re-pin the numbers consciously.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "chaos/fault_plan.h"
+#include "chaos/mutate.h"
+#include "chaos/repro.h"
+#include "chaos/scenario.h"
+#include "chaos/search.h"
+#include "mesos/mesos.h"
+#include "util/rng.h"
+
+namespace tsf::chaos {
+namespace {
+
+// --- shared fixtures --------------------------------------------------------
+
+MutationShape DesShape(const DesScenario& scenario) {
+  MutationShape shape;
+  shape.num_machines = scenario.workload.cluster.num_machines();
+  shape.num_frameworks = 0;
+  shape.earliest = 1.0;
+  shape.horizon = 40.0;
+  shape.mean_outage = 6.0;
+  return shape;
+}
+
+MutationShape MesosShape(const MesosScenario& scenario) {
+  MutationShape shape;
+  shape.num_machines = scenario.config.slaves.size();
+  shape.num_frameworks = scenario.frameworks.size();
+  shape.earliest = 6.0;
+  shape.horizon = 40.0;
+  shape.mean_outage = 6.0;
+  return shape;
+}
+
+FaultPlanShape PlanShapeOf(const MutationShape& shape) {
+  FaultPlanShape plan_shape;
+  plan_shape.num_machines = shape.num_machines;
+  plan_shape.num_frameworks = shape.num_frameworks;
+  plan_shape.earliest = shape.earliest;
+  plan_shape.horizon = shape.horizon;
+  plan_shape.mean_outage = shape.mean_outage;
+  return plan_shape;
+}
+
+std::string ReadFile(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// The committed corpus, in sorted filename order (the load order the
+// search's determinism contract is defined over).
+std::vector<Repro> CommittedCorpus() {
+  std::vector<std::filesystem::path> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(TSF_CORPUS_DIR))
+    if (entry.path().extension() == ".txt") paths.push_back(entry.path());
+  std::sort(paths.begin(), paths.end());
+  std::vector<Repro> corpus;
+  for (const std::filesystem::path& path : paths)
+    corpus.push_back(ParseRepro(ReadFile(path)));
+  return corpus;
+}
+
+// --- mutation-operator properties -------------------------------------------
+
+// Every operator, applied repeatedly across swept seeds on both substrate
+// shapes, yields plans that pass ValidateFaultPlan and survive the text
+// round trip exactly.
+TEST(ChaosMutateTest, OperatorsYieldValidRoundTrippablePlans) {
+  std::size_t applied = 0;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    struct Case {
+      MutationShape shape;
+      FaultPlan plan;
+    };
+    const std::vector<Case> cases = {
+        {DesShape(RandomDesScenario(seed)), RandomDesScenario(seed).plan},
+        {MesosShape(RandomMesosScenario(seed)),
+         RandomMesosScenario(seed).plan},
+    };
+    for (const Case& c : cases) {
+      SCOPED_TRACE("seed " + std::to_string(seed) + " machines " +
+                   std::to_string(c.shape.num_machines) + " frameworks " +
+                   std::to_string(c.shape.num_frameworks));
+      const FaultPlan donor =
+          RandomFaultPlan(PlanShapeOf(c.shape), seed ^ 0x5bd1e995u);
+      Rng rng(seed * 977);
+      for (const MutationOp op : kAllMutationOps) {
+        for (int rep = 0; rep < 8; ++rep) {
+          const std::optional<FaultPlan> mutant =
+              ApplyMutation(c.plan, op, c.shape, rng, &donor);
+          if (!mutant) continue;  // operator inapplicable this draw
+          ++applied;
+          EXPECT_EQ(ValidateFaultPlan(*mutant, c.shape.num_machines,
+                                      c.shape.num_frameworks),
+                    "")
+              << "op " << ToString(op);
+          const std::string text = SerializeFaultPlan(*mutant);
+          EXPECT_EQ(SerializeFaultPlan(ParseFaultPlan(text)), text)
+              << "op " << ToString(op) << " mutant is not a serialization "
+              << "fixed point";
+        }
+      }
+    }
+  }
+  // The sweep must actually exercise the operators, not skip them all.
+  EXPECT_GT(applied, 400u);
+}
+
+// Atom decomposition pairs every crash with its restart (and disconnect
+// with its re-register), and assembly is its inverse.
+TEST(ChaosMutateTest, DecomposeAssembleRoundTrip) {
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    const FaultPlan plan = RandomMesosScenario(seed).plan;
+    const std::vector<FaultAtom> atoms = DecomposeAtoms(plan);
+    for (const FaultAtom& atom : atoms) {
+      if (!atom.has_close) continue;
+      EXPECT_EQ(atom.open.target, atom.close.target);
+      EXPECT_LT(atom.open.time, atom.close.time);
+    }
+    EXPECT_EQ(AssembleAtoms(atoms), plan);
+  }
+}
+
+// Splice moves whole atoms: every atom of the spliced plan exists verbatim
+// in one of the parents, so no orphan restart/re-register can appear.
+TEST(ChaosMutateTest, SplicePreservesAtomPairing) {
+  std::size_t spliced_plans = 0;
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    const MesosScenario scenario = RandomMesosScenario(seed);
+    const MutationShape shape = MesosShape(scenario);
+    const FaultPlan donor =
+        RandomFaultPlan(PlanShapeOf(shape), seed ^ 0x27d4eb2fu);
+    const std::vector<FaultAtom> parent_atoms = DecomposeAtoms(scenario.plan);
+    const std::vector<FaultAtom> donor_atoms = DecomposeAtoms(donor);
+    Rng rng(seed * 131);
+    for (int rep = 0; rep < 8; ++rep) {
+      const std::optional<FaultPlan> mutant = ApplyMutation(
+          scenario.plan, MutationOp::kSplice, shape, rng, &donor);
+      if (!mutant) continue;
+      ++spliced_plans;
+      EXPECT_EQ(ValidateFaultPlan(*mutant, shape.num_machines,
+                                  shape.num_frameworks),
+                "");
+      for (const FaultAtom& atom : DecomposeAtoms(*mutant)) {
+        const bool from_parent =
+            std::find(parent_atoms.begin(), parent_atoms.end(), atom) !=
+            parent_atoms.end();
+        const bool from_donor =
+            std::find(donor_atoms.begin(), donor_atoms.end(), atom) !=
+            donor_atoms.end();
+        EXPECT_TRUE(from_parent || from_donor)
+            << "spliced atom at t=" << atom.open.time
+            << " exists in neither parent";
+      }
+    }
+  }
+  EXPECT_GT(spliced_plans, 20u);
+}
+
+// --- frontier heuristics ----------------------------------------------------
+
+TEST(ChaosSearchTest, FrontierOrders) {
+  const auto drain = [](Frontier& frontier) {
+    std::vector<std::size_t> order;
+    while (!frontier.Empty()) order.push_back(frontier.Pop());
+    return order;
+  };
+  const auto fill = [](Frontier& frontier) {
+    frontier.Push(0, 1.0);
+    frontier.Push(1, 5.0);
+    frontier.Push(2, 5.0);
+    frontier.Push(3, 3.0);
+  };
+  const std::unique_ptr<Frontier> bfs = MakeFrontier("bfs");
+  fill(*bfs);
+  EXPECT_EQ(drain(*bfs), (std::vector<std::size_t>{0, 1, 2, 3}));
+  const std::unique_ptr<Frontier> dfs = MakeFrontier("dfs");
+  fill(*dfs);
+  EXPECT_EQ(drain(*dfs), (std::vector<std::size_t>{3, 2, 1, 0}));
+  // Highest score first; FIFO among the tied entries 1 and 2.
+  const std::unique_ptr<Frontier> score = MakeFrontier("score");
+  fill(*score);
+  EXPECT_EQ(drain(*score), (std::vector<std::size_t>{1, 2, 3, 0}));
+}
+
+TEST(ChaosSearchTest, InterleavingSignatureSeparatesOrderings) {
+  std::vector<StreamEvent> a;
+  StreamEvent event;
+  event.kind = StreamEvent::Kind::kPlace;
+  a.push_back(event);
+  event.kind = StreamEvent::Kind::kCrash;
+  a.push_back(event);
+  const std::vector<StreamEvent> b = {a[1], a[0]};  // crash before the place
+  EXPECT_EQ(InterleavingSignature(a), InterleavingSignature(a));
+  EXPECT_NE(InterleavingSignature(a), InterleavingSignature(b));
+}
+
+// --- executions-to-bug regression -------------------------------------------
+
+// Pinned configuration of the guided-vs-blind comparison. Scenario seed 57
+// starts a 5-seed stretch (57..61) whose base Mesos scenarios do not
+// trigger the planted leak, so the blind sweep burns 6 executions before
+// seed 62 fires; the guided search mutates seed 57's plan and must get
+// there faster.
+constexpr std::uint64_t kPinnedScenarioSeed = 57;
+constexpr std::size_t kBlindExecutionsToBug = 6;
+// Golded guided count: a regression in the feedback signals or mutation
+// distributions shows up here as a changed (usually larger) number. Re-pin
+// only after confirming the search still beats the blind sweep broadly.
+constexpr std::size_t kGuidedExecutionsToBug = 2;
+
+SearchOptions PinnedBugHuntOptions() {
+  SearchOptions options;
+  options.substrate = "mesos";  // the injectable bug lives in the master
+  options.scenario_seed = kPinnedScenarioSeed;
+  options.search_seed = 1;
+  options.heuristic = "score";
+  options.max_execs = 64;
+  options.stop_on_violation = true;
+  return options;
+}
+
+class ScopedLeakBug {
+ public:
+  ScopedLeakBug() {
+    mesos::SetInjectedBugForTesting(mesos::InjectedBug::kLeakTaskOnCrash);
+  }
+  ~ScopedLeakBug() {
+    mesos::SetInjectedBugForTesting(mesos::InjectedBug::kNone);
+  }
+};
+
+TEST(ChaosSearchTest, GuidedBeatsBlindOnPlantedBug) {
+  const ScopedLeakBug armed;
+  const BlindSweepResult blind = RunBlindSweep(PinnedBugHuntOptions());
+  const SearchResult guided = RunGuidedSearch(PinnedBugHuntOptions());
+
+  ASSERT_NE(blind.executions_to_violation, 0u)
+      << "blind sweep no longer finds the planted bug within budget";
+  ASSERT_NE(guided.executions_to_violation, 0u)
+      << "guided search no longer finds the planted bug within budget";
+  EXPECT_EQ(blind.executions_to_violation, kBlindExecutionsToBug);
+  EXPECT_EQ(guided.executions_to_violation, kGuidedExecutionsToBug)
+      << "guided feedback signal changed — see the gold's comment";
+  // The headline property: strictly fewer executions, by a real margin.
+  EXPECT_LT(guided.executions_to_violation, blind.executions_to_violation);
+  EXPECT_GE(blind.executions_to_violation,
+            2 * guided.executions_to_violation);
+  // Both found the same bug class.
+  ASSERT_FALSE(guided.violations.empty());
+  EXPECT_NE(guided.violations.front().violation.find("task_survived_crash"),
+            std::string::npos);
+}
+
+// --- determinism contract ---------------------------------------------------
+
+// Same seed + same corpus => identical execution sequence, observable as
+// bit-identical corpus and frontier-pop hashes (release and sanitizer
+// builds run this same test, extending the contract across build types).
+TEST(ChaosSearchTest, SearchIsSeedDeterministic) {
+  SearchOptions options;
+  options.substrate = "both";
+  options.scenario_seed = 1;
+  options.search_seed = 7;
+  // Enough budget to replay the committed corpus AND mutate beyond it —
+  // the frontier-hash assertions below need the mutation loop to run.
+  options.max_execs = 96;
+  options.stop_on_violation = false;
+  options.corpus = CommittedCorpus();
+  ASSERT_FALSE(options.corpus.empty());
+
+  const SearchResult first = RunGuidedSearch(options);
+  const SearchResult second = RunGuidedSearch(options);
+  EXPECT_EQ(first.executions, second.executions);
+  EXPECT_EQ(first.corpus.size(), second.corpus.size());
+  EXPECT_EQ(first.corpus_hash, second.corpus_hash);
+  EXPECT_EQ(first.frontier_hash, second.frontier_hash);
+  EXPECT_EQ(first.coverage.bits(), second.coverage.bits());
+  // A clean build must not violate invariants while exploring.
+  EXPECT_TRUE(first.violations.empty())
+      << first.violations.front().violation;
+
+  // The corpus is live, not just re-validated: with duplicates skipped for
+  // free, seeding still leaves budget for fresh mutants.
+  EXPECT_GT(first.executions, 0u);
+  EXPECT_GT(first.corpus.size(), 0u);
+
+  // A different search seed explores a different sequence.
+  options.search_seed = 8;
+  const SearchResult other = RunGuidedSearch(options);
+  EXPECT_NE(other.frontier_hash, first.frontier_hash);
+}
+
+}  // namespace
+}  // namespace tsf::chaos

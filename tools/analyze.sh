@@ -26,7 +26,11 @@
 #             fault-injected scenarios, every policy, invariants armed)
 #             plus the injected-bug harness self-test, then the same smoke
 #             with the equivalence-class engine forced on
-#             (--cluster_mode=collapsed)
+#             (--cluster_mode=collapsed); then the guided lane: a
+#             corpus-seeded feedback-driven search (--guided --smoke
+#             --corpus_dir=tests/corpus) and its own injected-bug
+#             self-test (guided must find the planted bug within the
+#             capped budget)
 #   slo       sustained-load SLO smoke: slo_report rate-1 lanes on both
 #             substrates gated against BENCH_slo.json (tools/slo_gate.sh;
 #             skipped without a baseline)
@@ -114,7 +118,11 @@ run_step() {
       cmake --build --preset release --target fuzz_scenarios -j "$(nproc)" &&
       build/tools/fuzz_scenarios --smoke &&
       build/tools/fuzz_scenarios --smoke --inject_bug=leak_task_on_crash &&
-      build/tools/fuzz_scenarios --smoke --cluster_mode=collapsed
+      build/tools/fuzz_scenarios --smoke --cluster_mode=collapsed &&
+      build/tools/fuzz_scenarios --guided --smoke \
+        --corpus_dir=tests/corpus &&
+      build/tools/fuzz_scenarios --guided --smoke \
+        --inject_bug=leak_task_on_crash
       ;;
     slo)
       if [ ! -f BENCH_slo.json ]; then

@@ -3,7 +3,8 @@
 
 Rules (each maps to a documented repo convention; see DESIGN.md §7 and §12):
 
-  entry-point-checks   every .cc under src/core, src/sim, and src/load
+  entry-point-checks   every .cc under src/core, src/sim, src/load, and
+                       src/chaos
                        validates inputs with TSF_CHECK/TSF_DCHECK (Core
                        Guidelines P.7 — the rule stated in util/check.h).
                        Files whose entry points are data-only constructors
@@ -131,7 +132,8 @@ def rule_entry_point_checks(files):
         if not path.endswith(".cc"):
             continue
         if not (path.startswith("src/core/") or path.startswith("src/sim/")
-                or path.startswith("src/load/")):
+                or path.startswith("src/load/")
+                or path.startswith("src/chaos/")):
             continue
         if path in ENTRY_POINT_CHECK_ALLOWLIST:
             continue
@@ -315,6 +317,17 @@ SELF_TEST_CASES = [
     (rule_telemetry_macros,  # per-policy histogram lookups in src/load must
      {"src/load/driver.cc":  # stay inside a TSF_TELEMETRY region
       "void Observe() { telemetry::Registry::Get().GetHistogram(\"x\"); }\n"}),
+    (rule_entry_point_checks,  # the guided-search loop is a chaos entry
+     {"src/chaos/search.cc":   # point: unchecked SearchOptions must flag
+      "SearchResult RunGuidedSearch(const SearchOptions& o) {\n"
+      "  return Loop(o);\n}\n"}),
+    (rule_entry_point_checks,  # mutation ops promise ValidateFaultPlan-by-
+     {"src/chaos/mutate.cc":   # construction; an unchecked Finish must flag
+      "FaultPlan Finish(std::vector<FaultAtom> atoms) {\n"
+      "  return AssembleAtoms(std::move(atoms));\n}\n"}),
+    (rule_telemetry_macros,  # coverage-guided search must not pay telemetry
+     {"src/chaos/search.cc":  # costs when instrumentation is compiled out
+      "void Score() { telemetry::Counter c; }\n"}),
 ]
 
 # Synthetic trees that must stay CLEAN — guards against over-matching.
@@ -379,6 +392,20 @@ SELF_TEST_CLEAN = [
      {"src/load/stream.cc":
       "GeneratedStream GenerateArrivals(const StreamSpec& spec) {\n"
       "  TSF_CHECK(spec.rate > 0.0);\n  return Build(spec);\n}\n"}),
+    (rule_entry_point_checks,  # the real search validates options and every
+     {"src/chaos/search.cc":   # mutant plan at the boundary
+      "SearchResult RunGuidedSearch(const SearchOptions& o) {\n"
+      "  TSF_CHECK_GT(o.max_execs, 0u) << \"empty budget\";\n"
+      "  return Loop(o);\n}\n"}),
+    (rule_entry_point_checks,  # mutate.cc asserts its by-construction
+     {"src/chaos/mutate.cc":   # contract before returning any mutant
+      "FaultPlan Finish(std::vector<FaultAtom> atoms) {\n"
+      "  FaultPlan plan = AssembleAtoms(std::move(atoms));\n"
+      "  TSF_CHECK(ValidateFaultPlan(plan).empty());\n  return plan;\n}\n"}),
+    (rule_telemetry_macros,  # ChaosCoverage is chaos-local feedback state
+     {"src/chaos/search.cc":  # (its own TSF_CHAOS_COVERAGE_OFF switch), not
+      "ChaosCoverage coverage;\n"  # a telemetry:: instrumentation symbol
+      "void Merge(const ChaosCoverage& o) { coverage.Merge(o); }\n"}),
 ]
 
 
